@@ -1,0 +1,43 @@
+"""Substrate benches: collective construction and semantic verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bvn import decompose_demand
+from repro.collectives import make_collective, verify_collective
+from repro.units import MiB
+
+
+@pytest.mark.benchmark(group="collectives")
+def test_build_swing_64(benchmark):
+    collective = benchmark(lambda: make_collective("allreduce_swing", 64, MiB(16)))
+    assert collective.num_steps == 12
+
+
+@pytest.mark.benchmark(group="collectives")
+def test_build_ring_allreduce_64(benchmark):
+    collective = benchmark(lambda: make_collective("allreduce_ring", 64, MiB(16)))
+    assert collective.num_steps == 126
+
+
+@pytest.mark.benchmark(group="collectives")
+def test_verify_semantics_swing_64(benchmark):
+    collective = make_collective("allreduce_swing", 64, MiB(16))
+    report = benchmark(lambda: verify_collective(collective))
+    assert report.kind == "allreduce"
+
+
+@pytest.mark.benchmark(group="collectives")
+def test_verify_semantics_alltoall_64(benchmark):
+    collective = make_collective("alltoall", 64, MiB(16))
+    report = benchmark(lambda: verify_collective(collective))
+    assert report.chunks_tracked == 64 * 64
+
+
+@pytest.mark.benchmark(group="bvn")
+def test_bvn_decompose_aggregate_64(benchmark):
+    collective = make_collective("allreduce_recursive_doubling", 64, MiB(16))
+    aggregate = collective.aggregate_demand()
+    terms = benchmark(lambda: decompose_demand(aggregate.copy()))
+    assert len(terms) >= 1

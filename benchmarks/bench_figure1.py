@@ -1,0 +1,82 @@
+"""Regenerate every Figure 1 panel at paper scale (n=64, 800 Gb/s ring).
+
+One benchmark per heatmap panel (a-h).  Each run writes the rendered
+numeric + shaded heatmap to ``benchmarks/results/figure1_<panel>.txt``
+and asserts the paper's qualitative claims for that panel's corner
+cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_CONFIG, panel_by_id, panel_report, run_panel
+
+
+def _run_and_check(benchmark, results_dir, shared_cache, panel: str):
+    spec = panel_by_id(panel)
+    result = benchmark.pedantic(
+        lambda: run_panel(spec, config=PAPER_CONFIG, cache=shared_cache),
+        rounds=1,
+        iterations=1,
+    )
+    (results_dir / f"figure1_{panel}.txt").write_text(panel_report(result) + "\n")
+    speedups = result.speedups()
+    assert (speedups >= 1.0 - 1e-9).all()
+    if spec.comparator == "bvn":
+        # top row: huge gains at high alpha_r / small messages
+        assert speedups[0, -1] > 100
+        assert speedups[-1, 0] == pytest.approx(1.0, abs=1e-6)
+    else:
+        # bottom row: gains at low alpha_r / large messages
+        assert speedups[-1, 0] > 2
+        assert speedups[0, -1] == pytest.approx(1.0, abs=1e-6)
+    return result
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1a(benchmark, results_dir, shared_cache):
+    """Recursive doubling, alpha=100ns, OPT vs BvN."""
+    _run_and_check(benchmark, results_dir, shared_cache, "a")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1b(benchmark, results_dir, shared_cache):
+    """Recursive doubling, alpha=10us, OPT vs BvN."""
+    _run_and_check(benchmark, results_dir, shared_cache, "b")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1c(benchmark, results_dir, shared_cache):
+    """Swing, alpha=100ns, OPT vs BvN."""
+    _run_and_check(benchmark, results_dir, shared_cache, "c")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1d(benchmark, results_dir, shared_cache):
+    """All-to-All, alpha=100ns, OPT vs BvN."""
+    _run_and_check(benchmark, results_dir, shared_cache, "d")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1e(benchmark, results_dir, shared_cache):
+    """Recursive doubling, alpha=100ns, OPT vs static ring."""
+    _run_and_check(benchmark, results_dir, shared_cache, "e")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1f(benchmark, results_dir, shared_cache):
+    """Recursive doubling, alpha=10us, OPT vs static ring."""
+    _run_and_check(benchmark, results_dir, shared_cache, "f")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1g(benchmark, results_dir, shared_cache):
+    """Swing, alpha=100ns, OPT vs static ring."""
+    _run_and_check(benchmark, results_dir, shared_cache, "g")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1h(benchmark, results_dir, shared_cache):
+    """All-to-All, alpha=100ns, OPT vs static ring."""
+    _run_and_check(benchmark, results_dir, shared_cache, "h")

@@ -1,0 +1,39 @@
+"""Regenerate Figure 2: OPT vs the best of static/BvN (n=64).
+
+Asserts the paper's headline: a transitional (diagonal) regime exists
+where the optimized schedule strictly beats both pure strategies.
+Writes the heatmap to ``benchmarks/results/figure2.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_CONFIG, panel_report, run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2(benchmark, results_dir, shared_cache):
+    result = benchmark.pedantic(
+        lambda: run_figure2(PAPER_CONFIG, cache=shared_cache),
+        rounds=1,
+        iterations=1,
+    )
+    (results_dir / "figure2.txt").write_text(panel_report(result) + "\n")
+    speedups = result.speedups()
+    assert (speedups >= 1.0 - 1e-9).all()
+    # the transitional band: strictly better than best-of-both somewhere
+    assert result.census.has_transitional_band
+    assert result.census.max_speedup_vs_best > 1.1
+    # corners collapse to the pure strategies
+    assert speedups[-1, 0] == pytest.approx(1.0, abs=1e-6)
+    assert speedups[0, -1] == pytest.approx(1.0, abs=1e-6)
+    # the band is diagonal-ish: the best column index (weakly) increases
+    # with message size wherever a gain exists
+    best_cols = [
+        int(np.argmax(speedups[row]))
+        for row in range(speedups.shape[0])
+        if speedups[row].max() > 1 + 1e-9
+    ]
+    assert best_cols == sorted(best_cols)

@@ -1,0 +1,67 @@
+"""Ablation: online heuristics vs the DP optimum (research agenda §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import make_collective
+from repro.core import (
+    CostParameters,
+    evaluate_schedule,
+    evaluate_step_costs,
+    greedy_sequential_schedule,
+    optimize_schedule,
+    threshold_schedule,
+)
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(30)
+)
+COLLECTIVE = make_collective("allreduce_swing", 64, MiB(16))
+COSTS = evaluate_step_costs(COLLECTIVE, ring(64, B), PARAMS)
+
+
+@pytest.mark.benchmark(group="heuristics")
+def test_heuristic_threshold(benchmark):
+    schedule = benchmark(lambda: threshold_schedule(COSTS, PARAMS))
+    opt = optimize_schedule(COSTS, PARAMS).cost.total
+    value = evaluate_schedule(COSTS, schedule, PARAMS).total
+    assert 1.0 - 1e-12 <= value / opt <= 2.0
+
+
+@pytest.mark.benchmark(group="heuristics")
+def test_heuristic_greedy(benchmark):
+    schedule = benchmark(lambda: greedy_sequential_schedule(COSTS, PARAMS))
+    opt = optimize_schedule(COSTS, PARAMS).cost.total
+    value = evaluate_schedule(COSTS, schedule, PARAMS).total
+    assert 1.0 - 1e-12 <= value / opt <= 2.0
+
+
+@pytest.mark.benchmark(group="heuristics")
+def test_heuristic_gap_sweep(benchmark, results_dir):
+    """Record the optimality gap of both heuristics across alpha_r."""
+
+    def run():
+        rows = []
+        for alpha_r in (ns(100), us(1), us(10), us(30), us(100), us(1000)):
+            params = PARAMS.with_reconfiguration_delay(alpha_r)
+            opt = optimize_schedule(COSTS, params).cost.total
+            t = evaluate_schedule(
+                COSTS, threshold_schedule(COSTS, params), params
+            ).total
+            g = evaluate_schedule(
+                COSTS, greedy_sequential_schedule(COSTS, params), params
+            ).total
+            rows.append((alpha_r, t / opt, g / opt))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"alpha_r={a:.1e}s threshold/opt={t:.4f} greedy/opt={g:.4f}"
+        for a, t, g in rows
+    )
+    (results_dir / "heuristic_gaps.txt").write_text(text + "\n")
+    assert all(t >= 1 - 1e-12 and g >= 1 - 1e-12 for _, t, g in rows)

@@ -1,0 +1,85 @@
+"""Ablation: configuration-pool DP vs the paper's 2-state DP (§3.3).
+
+Measures (1) the runtime of the richer optimizer and (2) the completion
+time improvements from same-configuration awareness and from multi-base
+pools of co-prime rings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import make_collective
+from repro.core import (
+    CostParameters,
+    evaluate_step_costs,
+    optimize_pool_schedule,
+    optimize_schedule,
+)
+from repro.topology import coprime_rings, ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+N = 64
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(30)
+)
+RING = ring(N, B)
+
+
+@pytest.mark.benchmark(group="pool")
+def test_pool_single_base(benchmark, shared_cache):
+    collective = make_collective("allreduce_recursive_doubling", N, MiB(16))
+    result = benchmark.pedantic(
+        lambda: optimize_pool_schedule(
+            collective, [RING], PARAMS, cache=shared_cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    costs = evaluate_step_costs(collective, RING, PARAMS, cache=shared_cache)
+    two_state = optimize_schedule(costs, PARAMS).cost.total
+    assert result.total <= two_state + 1e-15
+
+
+@pytest.mark.benchmark(group="pool")
+def test_pool_same_config_awareness(benchmark, shared_cache):
+    """Ring allreduce repeats one matching: the pool DP should collapse
+    reconfigurations to at most one."""
+    collective = make_collective("allreduce_ring", N, MiB(64))
+    result = benchmark.pedantic(
+        lambda: optimize_pool_schedule(
+            collective, [RING], PARAMS, cache=shared_cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.n_reconfigurations <= 1
+
+
+@pytest.mark.benchmark(group="pool")
+def test_pool_coprime_rings(benchmark, shared_cache, results_dir):
+    """Two standing co-prime rings vs one, for All-to-All."""
+    collective = make_collective("alltoall", N, MiB(16))
+    pool = [
+        RING,
+        coprime_rings(N, (9,), B, bidirectional=True),
+        coprime_rings(N, (21,), B, bidirectional=True),
+    ]
+
+    def run():
+        single = optimize_pool_schedule(
+            collective, [RING], PARAMS, cache=shared_cache
+        )
+        multi = optimize_pool_schedule(collective, pool, PARAMS, cache=shared_cache)
+        return single, multi
+
+    single, multi = benchmark.pedantic(run, rounds=1, iterations=1)
+    (results_dir / "pool_coprime.txt").write_text(
+        f"single-base total:  {single.total:.6e}s "
+        f"({single.n_reconfigurations} reconfigurations)\n"
+        f"3-ring pool total:  {multi.total:.6e}s "
+        f"({multi.n_reconfigurations} reconfigurations)\n"
+        f"improvement: {single.total / multi.total:.3f}x\n"
+    )
+    assert multi.total <= single.total + 1e-15

@@ -1,0 +1,56 @@
+"""Ablation: propagation-delay sensitivity (research agenda §4).
+
+Reproduces the paper's remark that high per-hop propagation keeps the
+ring algorithm attractive on static rings, while reconfigurable fabrics
+favour few-step algorithms.  Records static vs optimized totals for the
+three AllReduce families across three decades of delta.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import propagation_study
+from repro.core import CostParameters
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+N = 64
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(10)
+)
+ALGORITHMS = ("allreduce_ring", "allreduce_recursive_doubling", "allreduce_swing")
+DELTAS = (ns(10), ns(100), us(1), us(10))
+
+
+@pytest.mark.benchmark(group="propagation")
+def test_propagation_study(benchmark, shared_cache, results_dir):
+    records = benchmark.pedantic(
+        lambda: propagation_study(
+            ALGORITHMS, N, MiB(1), ring(N, B), PARAMS, DELTAS, cache=shared_cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{r.algorithm:>30} delta={r.delta:.0e}s "
+        f"static={r.static_total:.4e}s opt={r.opt_total:.4e}s "
+        f"matched={r.n_matched_steps}"
+        for r in records
+    ]
+    (results_dir / "propagation_study.txt").write_text("\n".join(lines) + "\n")
+
+    by_key = {(r.algorithm, r.delta): r for r in records}
+    # Swing is the least delta-sensitive statically (shortest total path)
+    swing_growth = (
+        by_key[("allreduce_swing", DELTAS[-1])].static_total
+        - by_key[("allreduce_swing", DELTAS[0])].static_total
+    )
+    rd_growth = (
+        by_key[("allreduce_recursive_doubling", DELTAS[-1])].static_total
+        - by_key[("allreduce_recursive_doubling", DELTAS[0])].static_total
+    )
+    assert swing_growth < rd_growth
+    # optimized schedules never lose to static
+    assert all(r.opt_total <= r.static_total + 1e-15 for r in records)

@@ -1,0 +1,64 @@
+"""Simulator benches: model agreement, allocator cost, event throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import make_collective
+from repro.core import CostParameters, Schedule
+from repro.sim import FlowLevelSimulator, simulate
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+N = 64
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(10)
+)
+RING = ring(N, B)
+
+
+@pytest.mark.benchmark(group="sim")
+def test_sim_mcf_matches_model(benchmark, shared_cache):
+    collective = make_collective("allreduce_recursive_doubling", N, MiB(16))
+    report = benchmark.pedantic(
+        lambda: simulate(collective, RING, PARAMS, cache=shared_cache),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.model_error < 1e-12
+
+
+@pytest.mark.benchmark(group="sim")
+def test_sim_maxmin_allocator(benchmark, shared_cache, results_dir):
+    """Max-min fair rates vs the MCF ideal on the static ring."""
+    collective = make_collective("allreduce_swing", N, MiB(16))
+    schedule = Schedule.static(collective.num_steps)
+
+    def run():
+        mcf = FlowLevelSimulator(RING, PARAMS, rate_method="mcf", cache=shared_cache)
+        maxmin = FlowLevelSimulator(
+            RING, PARAMS, rate_method="maxmin", cache=shared_cache
+        )
+        return (
+            mcf.run(collective, schedule).total_time,
+            maxmin.run(collective, schedule).total_time,
+        )
+
+    t_mcf, t_maxmin = benchmark.pedantic(run, rounds=1, iterations=1)
+    (results_dir / "sim_allocators.txt").write_text(
+        f"mcf-optimal rates:  {t_mcf:.6e}s\n"
+        f"max-min fair rates: {t_maxmin:.6e}s\n"
+        f"model optimism:     {t_maxmin / t_mcf:.3f}x\n"
+    )
+    assert t_maxmin >= t_mcf - 1e-15
+
+
+@pytest.mark.benchmark(group="sim")
+def test_sim_event_throughput(benchmark, shared_cache):
+    """126-step ring allreduce end to end (the longest paper workload)."""
+    collective = make_collective("allreduce_ring", N, MiB(1))
+    simulator = FlowLevelSimulator(RING, PARAMS, cache=shared_cache)
+    schedule = Schedule.static(collective.num_steps)
+    result = benchmark(lambda: simulator.run(collective, schedule))
+    assert len(result.trace) >= 3 * collective.num_steps

@@ -1,0 +1,78 @@
+"""Ablation: DP vs MILP vs brute force on Eq. 7 (paper §3.3).
+
+The paper observes the ILP's sequential structure admits a
+polynomial-time DP.  These benches quantify the speed difference while
+asserting all solvers return the same optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.collectives import make_collective
+from repro.core import (
+    CostParameters,
+    Schedule,
+    evaluate_schedule,
+    evaluate_step_costs,
+    optimize_schedule,
+    optimize_schedule_ilp,
+)
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(30)
+)
+
+
+def _costs(n=64, message=MiB(16)):
+    collective = make_collective("allreduce_recursive_doubling", n, message)
+    return evaluate_step_costs(collective, ring(n, B), PARAMS)
+
+
+COSTS_64 = _costs()
+COSTS_16 = _costs(n=16, message=MiB(4))
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_solver_dp(benchmark):
+    result = benchmark(lambda: optimize_schedule(COSTS_64, PARAMS))
+    ilp = optimize_schedule_ilp(COSTS_64, PARAMS)
+    assert result.cost.total == pytest.approx(ilp.cost.total, rel=1e-9)
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_solver_milp(benchmark):
+    result = benchmark(lambda: optimize_schedule_ilp(COSTS_64, PARAMS))
+    dp = optimize_schedule(COSTS_64, PARAMS)
+    assert result.cost.total == pytest.approx(dp.cost.total, rel=1e-9)
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_solver_brute_force_small(benchmark):
+    """2^8 exhaustive enumeration at n=16 — the exponential baseline."""
+
+    def brute():
+        return min(
+            evaluate_schedule(COSTS_16, Schedule.from_bits(bits), PARAMS).total
+            for bits in itertools.product([0, 1], repeat=len(COSTS_16))
+        )
+
+    best = benchmark(brute)
+    assert best == pytest.approx(
+        optimize_schedule(COSTS_16, PARAMS).cost.total, rel=1e-12
+    )
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_solver_dp_long_horizon(benchmark):
+    """DP on a 126-step collective (ring allreduce at n=64): O(s) should
+    stay trivially fast even for long step sequences."""
+    collective = make_collective("allreduce_ring", 64, MiB(16))
+    costs = evaluate_step_costs(collective, ring(64, B), PARAMS)
+    result = benchmark(lambda: optimize_schedule(costs, PARAMS))
+    assert result.schedule.num_steps == 126

@@ -1,0 +1,58 @@
+"""Ablation: base-ring directionality (DESIGN.md modeling decision).
+
+The paper says only "we use a ring as the base topology"; we default to
+a bidirectional ring with b/2 per direction.  This bench quantifies the
+alternative (unidirectional, full b clockwise) for each paper workload,
+so the modeling decision's impact is on record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import make_collective
+from repro.core import CostParameters, evaluate_step_costs, optimize_schedule, static_cost
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+N = 64
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(10)
+)
+WORKLOADS = ("allreduce_recursive_doubling", "allreduce_swing", "alltoall")
+
+
+@pytest.mark.benchmark(group="topology-choice")
+def test_ring_directionality(benchmark, shared_cache, results_dir):
+    def run():
+        rows = []
+        for name in WORKLOADS:
+            collective = make_collective(name, N, MiB(16))
+            for bidirectional in (True, False):
+                topology = ring(N, B, bidirectional=bidirectional)
+                costs = evaluate_step_costs(
+                    collective, topology, PARAMS, cache=shared_cache
+                )
+                static = static_cost(costs, PARAMS).total
+                opt = optimize_schedule(costs, PARAMS).cost.total
+                rows.append((name, bidirectional, static, opt))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{name:>30} {'bidir' if bidir else 'unidir':>6} "
+        f"static={static:.4e}s opt={opt:.4e}s speedup={static / opt:.2f}x"
+        for name, bidir, static, opt in rows
+    ]
+    (results_dir / "topology_choice.txt").write_text("\n".join(lines) + "\n")
+
+    by_key = {(name, bidir): (static, opt) for name, bidir, static, opt in rows}
+    for name in WORKLOADS:
+        # pairwise-exchange algorithms suffer far more on a one-way ring
+        # (reverse flows circle the whole ring), so static costs rise
+        assert by_key[(name, False)][0] >= by_key[(name, True)][0] * 0.99
+        # the optimizer's result never exceeds static either way
+        for bidir in (True, False):
+            static, opt = by_key[(name, bidir)]
+            assert opt <= static + 1e-15

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Figure benches run the full paper-scale harness (n=64) once via
+``benchmark.pedantic(rounds=1)`` and write their rendered heatmaps to
+``benchmarks/results/`` so the artifacts of a benchmark run are
+inspectable afterwards.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.flows import ThroughputCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def shared_cache() -> ThroughputCache:
+    """One theta cache for the whole benchmark session: patterns repeat
+    across panels, so later benches measure the amortized regime."""
+    return ThroughputCache()

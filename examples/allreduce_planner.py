@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""AllReduce planner: choose algorithm + schedule for a training job.
+
+The scenario the paper's introduction motivates: a data-parallel
+training loop all-reduces gradient buffers of very different sizes
+(embedding layers vs attention blocks).  For each buffer size this
+script compares every AllReduce algorithm in the library under three
+policies — static ring, naive per-step reconfiguration, and the
+optimized schedule — and prints the best plan per buffer.
+
+Run:  python examples/allreduce_planner.py
+"""
+
+from repro import (
+    CostParameters,
+    Gbps,
+    KiB,
+    MiB,
+    GiB,
+    bvn_cost,
+    evaluate_step_costs,
+    make_collective,
+    ns,
+    optimize_schedule,
+    ring,
+    static_cost,
+    us,
+)
+from repro.flows import ThroughputCache
+from repro.units import format_size, format_time
+
+ALGORITHMS = (
+    "allreduce_ring",
+    "allreduce_recursive_doubling",
+    "allreduce_recursive_doubling_full",
+    "allreduce_swing",
+)
+
+BUFFERS = (KiB(32), MiB(1), MiB(32), GiB(1))
+
+
+def main() -> None:
+    n = 64
+    bandwidth = Gbps(800)
+    topology = ring(n, bandwidth)
+    params = CostParameters(
+        alpha=ns(100),
+        bandwidth=bandwidth,
+        delta=ns(100),
+        reconfiguration_delay=us(25),
+    )
+    cache = ThroughputCache()  # thetas shared across buffer sizes
+
+    print(f"domain: n={n}, ring base topology, "
+          f"alpha_r={format_time(params.reconfiguration_delay)}\n")
+    header = (
+        f"{'buffer':>8} {'algorithm':>34} {'static':>10} {'bvn':>10} "
+        f"{'optimized':>10} {'plan':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for buffer_size in BUFFERS:
+        best = None
+        rows = []
+        for algorithm in ALGORITHMS:
+            collective = make_collective(algorithm, n, buffer_size)
+            costs = evaluate_step_costs(collective, topology, params, cache=cache)
+            opt = optimize_schedule(costs, params)
+            static = static_cost(costs, params).total
+            bvn = bvn_cost(costs, params).total
+            rows.append((algorithm, static, bvn, opt))
+            if best is None or opt.cost.total < best[1].cost.total:
+                best = (algorithm, opt)
+        for algorithm, static, bvn, opt in rows:
+            marker = " <== best" if algorithm == best[0] else ""
+            matched = opt.schedule.num_matched_steps
+            plan = (
+                "static"
+                if matched == 0
+                else "all-matched"
+                if matched == opt.schedule.num_steps
+                else f"mixed ({matched}/{opt.schedule.num_steps} M)"
+            )
+            print(
+                f"{format_size(buffer_size):>8} {algorithm:>34} "
+                f"{format_time(static):>10} {format_time(bvn):>10} "
+                f"{format_time(opt.cost.total):>10} {plan:>16}{marker}"
+            )
+        print()
+
+    print(
+        "reading: small buffers want a static schedule (reconfiguration\n"
+        "overhead dominates); large buffers want matched topologies; the\n"
+        "middle is exactly the paper's mixed regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

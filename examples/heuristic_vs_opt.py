@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Online heuristics vs the DP optimum (research agenda §4).
+
+A runtime scheduler cannot always afford the full DP with exact LP
+thetas; the paper's agenda asks for fast threshold heuristics and
+cheaper congestion proxies.  This script measures, across the
+reconfiguration-delay axis, the optimality gap of:
+
+* the myopic threshold rule,
+* the sequential greedy rule,
+* the full DP driven by the *shortest-path proxy* theta instead of the
+  exact LP value.
+
+Run:  python examples/heuristic_vs_opt.py
+"""
+
+from repro import (
+    CostParameters,
+    Gbps,
+    MiB,
+    evaluate_schedule,
+    evaluate_step_costs,
+    make_collective,
+    ns,
+    optimize_schedule,
+    ring,
+    us,
+)
+from repro.core import greedy_sequential_schedule, threshold_schedule
+from repro.flows import ThroughputCache
+from repro.units import format_time
+
+
+def main() -> None:
+    n = 64
+    bandwidth = Gbps(800)
+    topology = ring(n, bandwidth)
+    collective = make_collective("allreduce_recursive_doubling", n, MiB(16))
+    cache = ThroughputCache()
+
+    base = CostParameters(
+        alpha=ns(100), bandwidth=bandwidth, delta=ns(100), reconfiguration_delay=0
+    )
+    exact_costs = evaluate_step_costs(collective, topology, base, cache=cache)
+    proxy_costs = evaluate_step_costs(
+        collective, topology, base, theta_method="sp", cache=cache
+    )
+
+    print(f"workload: {collective.name}, n={n}, 16 MiB per GPU\n")
+    header = (
+        f"{'alpha_r':>8} {'optimal':>10} {'threshold':>10} {'greedy':>10} "
+        f"{'proxy-DP':>10}   (gap vs optimal)"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for alpha_r in (ns(100), us(1), us(5), us(20), us(100), us(500), us(2000)):
+        params = base.with_reconfiguration_delay(alpha_r)
+        opt = optimize_schedule(exact_costs, params).cost.total
+
+        def value_of(schedule):
+            return evaluate_schedule(exact_costs, schedule, params).total
+
+        threshold = value_of(threshold_schedule(exact_costs, params))
+        greedy = value_of(greedy_sequential_schedule(exact_costs, params))
+        # DP on proxy thetas, evaluated against the true costs:
+        proxy_schedule = optimize_schedule(proxy_costs, params).schedule
+        proxy = value_of(proxy_schedule)
+
+        def gap(value):
+            return f"{(value / opt - 1) * 100:5.1f}%"
+
+        print(
+            f"{format_time(alpha_r):>8} {format_time(opt):>10} "
+            f"{format_time(threshold):>10} {format_time(greedy):>10} "
+            f"{format_time(proxy):>10}   "
+            f"{gap(threshold)} / {gap(greedy)} / {gap(proxy)}"
+        )
+
+    print(
+        "\nreading: the greedy rule tracks the optimum closely; the myopic\n"
+        "threshold overpays around the regime boundary; the shortest-path\n"
+        "proxy is pessimistic about theta, so it reconfigures too eagerly\n"
+        "when delays are moderate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Beyond single permutations: multi-ported steps and GPU subsets.
+
+Two of the paper's outlook items, exercised end to end:
+
+1. **Multi-ported collectives** (§4): each GPU owns ``p`` ports, so one
+   step can carry a union of ``p`` permutations.  We sweep the port
+   count for a 64-GPU All-to-All and watch the optimized completion
+   time fall as barriers amortize.
+2. **Subset collectives** (§3.1): an 8-GPU AllReduce embedded onto a
+   64-port domain, comparing contiguous vs scattered port placement —
+   the fabric reconfigures only the involved ports either way, but the
+   static ring path lengths differ sharply.
+
+Run:  python examples/multiport_and_subsets.py
+"""
+
+from repro import (
+    CostParameters,
+    Gbps,
+    MiB,
+    evaluate_step_costs,
+    make_collective,
+    ns,
+    optimize_schedule,
+    ring,
+    static_cost,
+    us,
+)
+from repro.collectives import embed_collective
+from repro.core import evaluate_multiport_step_costs, multiport_alltoall
+from repro.units import format_time
+
+
+def multiport_sweep() -> None:
+    # n = 32 keeps the union-demand LPs snappy; the trend is identical
+    # at n = 64 (see benchmarks/bench_multiport.py).
+    n = 32
+    bandwidth = Gbps(800)
+    topology = ring(n, bandwidth)
+    params = CostParameters(
+        alpha=ns(100), bandwidth=bandwidth, delta=ns(100),
+        reconfiguration_delay=us(10),
+    )
+    print("multi-ported All-to-All (32 GPUs, 16 MiB per GPU):")
+    print(f"{'ports':>6} {'steps':>6} {'optimized':>12} {'schedule shape':>20}")
+    for ports in (1, 2, 4):
+        steps = multiport_alltoall(n, MiB(16), ports)
+        costs = evaluate_multiport_step_costs(
+            steps, topology, params, ports=ports, cache=None
+        )
+        result = optimize_schedule(costs, params)
+        matched = result.schedule.num_matched_steps
+        shape = f"{matched}/{len(steps)} reconfigured"
+        print(
+            f"{ports:>6} {len(steps):>6} "
+            f"{format_time(result.cost.total):>12} {shape:>20}"
+        )
+
+
+def subset_placement() -> None:
+    n_domain = 64
+    bandwidth = Gbps(800)
+    topology = ring(n_domain, bandwidth)
+    params = CostParameters(
+        alpha=ns(100), bandwidth=bandwidth, delta=ns(100),
+        reconfiguration_delay=us(10),
+    )
+    inner = make_collective("allreduce_recursive_doubling", 8, MiB(16))
+    placements = {
+        "contiguous ports 0-7": list(range(8)),
+        "every 8th port": list(range(0, 64, 8)),
+    }
+    print("\n8-GPU AllReduce embedded in a 64-port domain:")
+    for label, ranks in placements.items():
+        embedded = embed_collective(inner, ranks, n_domain)
+        costs = evaluate_step_costs(embedded, topology, params, cache=None)
+        static = static_cost(costs, params).total
+        opt = optimize_schedule(costs, params)
+        print(
+            f"  {label:>22}: static {format_time(static):>9}, "
+            f"optimized {format_time(opt.cost.total):>9} "
+            f"({opt.cost.n_reconfigurations} partial reconfigurations)"
+        )
+    print(
+        "\nreading: scattered placement stretches static-ring paths, but\n"
+        "the optimized schedule reconfigures the 8 involved ports and\n"
+        "becomes placement-independent."
+    )
+
+
+if __name__ == "__main__":
+    multiport_sweep()
+    subset_placement()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships an older setuptools without the ``wheel`` package,
+so ``pip install -e . --no-use-pep517`` (which routes through this file)
+is the supported offline install path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — adaptive photonic scale-up domains.
+
+A reproduction of "When Light Bends to the Collective Will: A Theory and
+Vision for Adaptive Photonic Scale-up Domains" (HotNets 2025): the
+BvN / maximum-concurrent-flow / alpha-beta cost model bridge, the
+reconfigure-or-not schedule optimizer, and the flow-level evaluation
+that produces the paper's Figure 1 and Figure 2.
+
+Quickstart::
+
+    from repro import (
+        CostParameters, make_collective, optimize_schedule,
+        evaluate_step_costs, ring, Gbps, MiB, ns, us,
+    )
+
+    topology = ring(64, Gbps(800))
+    collective = make_collective("allreduce_swing", 64, MiB(64))
+    params = CostParameters(alpha=ns(100), bandwidth=Gbps(800),
+                            delta=ns(100), reconfiguration_delay=us(10))
+    costs = evaluate_step_costs(collective, topology, params)
+    result = optimize_schedule(costs, params)
+    print(result.schedule, result.cost.total)
+
+Subpackages: :mod:`repro.topology`, :mod:`repro.collectives`,
+:mod:`repro.flows`, :mod:`repro.bvn`, :mod:`repro.core`,
+:mod:`repro.fabric`, :mod:`repro.sim`, :mod:`repro.analysis`,
+:mod:`repro.experiments`.
+"""
+
+from . import analysis, bvn, collectives, core, experiments, fabric, flows, sim, topology
+from .collectives import (
+    Collective,
+    PAPER_ALGORITHMS,
+    Step,
+    available_collectives,
+    make_collective,
+    verify_collective,
+)
+from .core import (
+    CostParameters,
+    Decision,
+    OptimizationResult,
+    Schedule,
+    ScheduleCost,
+    StepCost,
+    best_of_both_cost,
+    bvn_cost,
+    classify_regime,
+    evaluate_schedule,
+    evaluate_step_costs,
+    optimize_pool_schedule,
+    optimize_schedule,
+    optimize_schedule_ilp,
+    static_cost,
+)
+from .exceptions import ReproError
+from .flows import compute_theta, max_concurrent_flow
+from .matching import Matching
+from .sim import FlowLevelSimulator, simulate
+from .topology import Topology, hypercube, ring, torus
+from .units import GB, GiB, Gbps, KiB, MB, MiB, Tbps, ms, ns, us
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "topology",
+    "collectives",
+    "flows",
+    "bvn",
+    "core",
+    "fabric",
+    "sim",
+    "analysis",
+    "experiments",
+    # frequently used names
+    "ReproError",
+    "Matching",
+    "Topology",
+    "ring",
+    "torus",
+    "hypercube",
+    "Collective",
+    "Step",
+    "make_collective",
+    "available_collectives",
+    "verify_collective",
+    "PAPER_ALGORITHMS",
+    "CostParameters",
+    "StepCost",
+    "evaluate_step_costs",
+    "Schedule",
+    "ScheduleCost",
+    "Decision",
+    "evaluate_schedule",
+    "optimize_schedule",
+    "optimize_schedule_ilp",
+    "optimize_pool_schedule",
+    "OptimizationResult",
+    "static_cost",
+    "bvn_cost",
+    "best_of_both_cost",
+    "classify_regime",
+    "compute_theta",
+    "max_concurrent_flow",
+    "FlowLevelSimulator",
+    "simulate",
+    # units
+    "Gbps",
+    "Tbps",
+    "KiB",
+    "MiB",
+    "GiB",
+    "MB",
+    "GB",
+    "ns",
+    "us",
+    "ms",
+]

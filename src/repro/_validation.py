@@ -1,0 +1,53 @@
+"""Small internal argument-validation helpers shared across subpackages."""
+
+from __future__ import annotations
+
+from .exceptions import ReproError
+
+
+def require(condition: bool, exc_type: type[ReproError], message: str) -> None:
+    """Raise ``exc_type(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc_type(message)
+
+
+def require_positive(value: float, name: str, exc_type: type[ReproError]) -> float:
+    """Validate that a scalar parameter is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise exc_type(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str, exc_type: type[ReproError]) -> float:
+    """Validate that a scalar parameter is non-negative."""
+    value = float(value)
+    if value < 0:
+        raise exc_type(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_node_count(n: int, exc_type: type[ReproError], minimum: int = 2) -> int:
+    """Validate a node/GPU count."""
+    if int(n) != n:
+        raise exc_type(f"node count must be an integer, got {n!r}")
+    n = int(n)
+    if n < minimum:
+        raise exc_type(f"node count must be >= {minimum}, got {n}")
+    return n
+
+
+def require_power_of_two(n: int, name: str, exc_type: type[ReproError]) -> int:
+    """Validate that ``n`` is a power of two (required by several collectives)."""
+    n = int(n)
+    if n < 1 or (n & (n - 1)) != 0:
+        raise exc_type(f"{name} must be a power of two, got {n}")
+    return n
+
+
+def require_rank(rank: int, n: int, exc_type: type[ReproError]) -> int:
+    """Validate that ``rank`` is a valid node index in ``[0, n)``."""
+    rank = int(rank)
+    if not 0 <= rank < n:
+        raise exc_type(f"rank must be in [0, {n}), got {rank}")
+    return rank

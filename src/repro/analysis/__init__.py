@@ -1,0 +1,22 @@
+"""Analysis layer: sweeps, speedup grids, heatmaps, regime census."""
+
+from .heatmap import render_grid, render_shaded
+from .propagation import PropagationRecord, propagation_study
+from .regimes import RegimeCensus, census
+from .speedup import COMPARATORS, SpeedupGrid, compute_speedup_grid
+from .sweep import SweepRecord, sweep_alpha_r, sweep_parameter
+
+__all__ = [
+    "SpeedupGrid",
+    "compute_speedup_grid",
+    "COMPARATORS",
+    "render_grid",
+    "render_shaded",
+    "RegimeCensus",
+    "census",
+    "SweepRecord",
+    "sweep_alpha_r",
+    "sweep_parameter",
+    "PropagationRecord",
+    "propagation_study",
+]

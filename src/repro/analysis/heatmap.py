@@ -1,0 +1,90 @@
+"""ASCII heatmap rendering for speedup grids.
+
+The environment has no plotting stack, so the figure harness renders
+heatmaps as aligned text tables (exact values) plus an optional shaded
+block view that makes the paper's regimes visible at a glance: dark
+cells = large speedup, blank = 1x, matching the description of Figure 1
+("darker shades representing higher speedup ... white indicates a
+speedup of 1").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..units import format_size, format_time
+
+__all__ = ["render_grid", "render_shaded"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def _format_speedup(value: float) -> str:
+    if math.isinf(value):
+        return "inf"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def render_grid(
+    speedups: np.ndarray,
+    message_sizes,
+    alpha_rs,
+    title: str = "",
+) -> str:
+    """Numeric table: rows = message sizes (largest on top, like the
+    paper's heatmaps), columns = reconfiguration delays."""
+    rows, cols = speedups.shape
+    col_labels = [format_time(a, digits=3) for a in alpha_rs]
+    width = max(8, max(len(c) for c in col_labels) + 1)
+    lines = []
+    if title:
+        lines.append(title)
+    corner = "msg / a_r"
+    header = f"{corner:>10} " + "".join(f"{c:>{width}}" for c in col_labels)
+    lines.append(header)
+    for row in range(rows - 1, -1, -1):
+        label = format_size(message_sizes[row], digits=3)
+        cells = "".join(
+            f"{_format_speedup(speedups[row, col]):>{width}}" for col in range(cols)
+        )
+        lines.append(f"{label:>10} " + cells)
+    return "\n".join(lines)
+
+
+def render_shaded(
+    speedups: np.ndarray,
+    message_sizes,
+    alpha_rs,
+    title: str = "",
+    max_log10: float = 3.0,
+) -> str:
+    """Block-shaded view: one character per cell on a log scale.
+
+    ``' '`` means speedup 1 (or less); ``'@'`` means ``>= 10^max_log10``.
+    """
+    rows, cols = speedups.shape
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(rows - 1, -1, -1):
+        cells = []
+        for col in range(cols):
+            value = speedups[row, col]
+            if not math.isfinite(value) or value <= 1.0 + 1e-12:
+                cells.append(_SHADES[0])
+                continue
+            level = min(math.log10(value) / max_log10, 1.0)
+            index = min(int(level * (len(_SHADES) - 1) + 0.999), len(_SHADES) - 1)
+            cells.append(_SHADES[index])
+        label = format_size(message_sizes[row], digits=3)
+        lines.append(f"{label:>10} |" + "".join(cells) + "|")
+    footer_left = format_time(alpha_rs[0], digits=2)
+    footer_right = format_time(alpha_rs[-1], digits=2)
+    lines.append(f"{'':>10}  {footer_left} -> {footer_right} (a_r)")
+    return "\n".join(lines)

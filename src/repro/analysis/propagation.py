@@ -1,0 +1,77 @@
+"""Propagation-delay study (research agenda: "deeper understanding of
+the propagation delays").
+
+The paper remarks that on static rings high per-hop propagation makes
+the ring AllReduce optimal even for short messages, while on
+reconfigurable fabrics few-step algorithms (recursive doubling, Swing)
+become more attractive.  :func:`propagation_study` quantifies that: it
+sweeps ``delta`` and reports, per algorithm, the static-topology cost
+and the optimized-schedule cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..collectives.registry import make_collective
+from ..core.baselines import static_cost
+from ..core.cost_model import CostParameters, evaluate_step_costs
+from ..core.optimizer_dp import optimize_schedule
+from ..flows import ThroughputCache, default_cache
+from ..topology.base import Topology
+
+__all__ = ["PropagationRecord", "propagation_study"]
+
+
+@dataclass(frozen=True)
+class PropagationRecord:
+    """One (algorithm, delta) evaluation."""
+
+    algorithm: str
+    delta: float
+    static_total: float
+    opt_total: float
+    n_matched_steps: int
+
+
+def propagation_study(
+    algorithms: Sequence[str],
+    n: int,
+    message_size: float,
+    topology: Topology,
+    base_params: CostParameters,
+    deltas: Sequence[float],
+    cache: ThroughputCache | None = default_cache,
+) -> list[PropagationRecord]:
+    """Evaluate each algorithm across per-hop propagation delays.
+
+    Returns records sorted by (algorithm, delta); the classic claims to
+    look for: the ring algorithm's static cost is delta-insensitive
+    (one-hop steps), while XOR/Swing static costs grow with delta, and
+    reconfiguration flattens all of them back to one hop per step.
+    """
+    records = []
+    for algorithm in algorithms:
+        collective = make_collective(algorithm, n, message_size)
+        for delta in deltas:
+            params = CostParameters(
+                alpha=base_params.alpha,
+                bandwidth=base_params.bandwidth,
+                delta=float(delta),
+                reconfiguration_delay=base_params.reconfiguration_delay,
+            )
+            step_costs = evaluate_step_costs(
+                collective, topology, params, cache=cache
+            )
+            result = optimize_schedule(step_costs, params)
+            records.append(
+                PropagationRecord(
+                    algorithm=algorithm,
+                    delta=float(delta),
+                    static_total=static_cost(step_costs, params).total,
+                    opt_total=result.cost.total,
+                    n_matched_steps=result.schedule.num_matched_steps,
+                )
+            )
+    return records

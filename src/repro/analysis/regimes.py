@@ -1,0 +1,68 @@
+"""Regime census over a speedup grid.
+
+Summarizes where each strategy wins — the quantitative backing for the
+paper's §3.4 narrative: BvN dominated at high ``alpha_r``/small
+messages, static dominated in the opposite corner, and a transitional
+diagonal where only the optimized schedule attains the minimum
+(Figure 2's band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .speedup import SpeedupGrid
+
+__all__ = ["RegimeCensus", "census"]
+
+
+@dataclass(frozen=True)
+class RegimeCensus:
+    """Aggregate statistics of a grid's regimes and speedups."""
+
+    algorithm: str
+    n_cells: int
+    n_static: int
+    n_bvn: int
+    n_mixed: int
+    max_speedup_vs_static: float
+    max_speedup_vs_bvn: float
+    max_speedup_vs_best: float
+    mixed_cells: tuple[tuple[int, int], ...]
+
+    @property
+    def has_transitional_band(self) -> bool:
+        """Whether any cell strictly beats both pure strategies."""
+        return self.n_mixed > 0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable census."""
+        return (
+            f"{self.algorithm}: {self.n_cells} cells | "
+            f"static-optimal {self.n_static}, bvn-optimal {self.n_bvn}, "
+            f"mixed {self.n_mixed} | max speedup vs static "
+            f"{self.max_speedup_vs_static:.3g}x, vs BvN "
+            f"{self.max_speedup_vs_bvn:.3g}x, vs best-of-both "
+            f"{self.max_speedup_vs_best:.3g}x"
+        )
+
+
+def census(grid: SpeedupGrid, tolerance: float = 1e-9) -> RegimeCensus:
+    """Count regimes and extreme speedups of a grid."""
+    regimes = grid.regimes(tolerance=tolerance)
+    mixed = tuple(
+        (int(r), int(c)) for r, c in np.argwhere(regimes == "mixed")
+    )
+    return RegimeCensus(
+        algorithm=grid.algorithm,
+        n_cells=int(regimes.size),
+        n_static=int((regimes == "static").sum()),
+        n_bvn=int((regimes == "bvn").sum()),
+        n_mixed=len(mixed),
+        max_speedup_vs_static=float(np.max(grid.speedup("static"))),
+        max_speedup_vs_bvn=float(np.max(grid.speedup("bvn"))),
+        max_speedup_vs_best=float(np.max(grid.speedup("best"))),
+        mixed_cells=mixed,
+    )

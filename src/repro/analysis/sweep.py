@@ -1,0 +1,81 @@
+"""Generic parameter sweeps producing flat record tables.
+
+Complements the 2-D speedup grids with arbitrary one-factor sweeps
+(bandwidth, alpha, n, delta...) for ablations; records are plain dicts
+ready for CSV emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from ..collectives.base import Collective
+from ..core.baselines import bvn_cost, static_cost
+from ..core.cost_model import CostParameters, evaluate_step_costs
+from ..core.optimizer_dp import optimize_schedule
+from ..flows import ThroughputCache, default_cache
+from ..topology.base import Topology
+
+__all__ = ["SweepRecord", "sweep_alpha_r", "sweep_parameter"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated parameter point."""
+
+    parameter: str
+    value: float
+    opt_total: float
+    static_total: float
+    bvn_total: float
+    n_matched_steps: int
+
+    def as_dict(self) -> dict:
+        """Flat dict for CSV writers."""
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "opt_total": self.opt_total,
+            "static_total": self.static_total,
+            "bvn_total": self.bvn_total,
+            "n_matched_steps": self.n_matched_steps,
+        }
+
+
+def sweep_alpha_r(
+    collective: Collective,
+    topology: Topology,
+    base_params: CostParameters,
+    alpha_rs: Sequence[float],
+    cache: ThroughputCache | None = default_cache,
+) -> list[SweepRecord]:
+    """Sweep the reconfiguration delay with everything else fixed."""
+    step_costs = evaluate_step_costs(collective, topology, base_params, cache=cache)
+    records = []
+    for alpha_r in alpha_rs:
+        params = base_params.with_reconfiguration_delay(float(alpha_r))
+        result = optimize_schedule(step_costs, params)
+        records.append(
+            SweepRecord(
+                parameter="alpha_r",
+                value=float(alpha_r),
+                opt_total=result.cost.total,
+                static_total=static_cost(step_costs, params).total,
+                bvn_total=bvn_cost(step_costs, params).total,
+                n_matched_steps=result.schedule.num_matched_steps,
+            )
+        )
+    return records
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Sequence[float],
+    evaluate: Callable[[float], tuple[float, float, float, int]],
+) -> list[SweepRecord]:
+    """Generic sweep: ``evaluate(value)`` returns
+    ``(opt, static, bvn, matched_steps)``."""
+    return [
+        SweepRecord(parameter, float(v), *evaluate(float(v))) for v in values
+    ]

@@ -1,0 +1,31 @@
+"""Birkhoff-von Neumann decomposition machinery (paper §2, §3.2)."""
+
+from .decomposition import (
+    BvNTerm,
+    birkhoff_decomposition,
+    decompose_demand,
+    reconstruct,
+)
+from .doubly_stochastic import (
+    is_doubly_stochastic,
+    is_doubly_substochastic,
+    is_scaled_doubly_stochastic,
+    row_col_sums,
+    sinkhorn_scale,
+)
+from .observation1 import Observation1Report, aggregate_demand, verify_observation1
+
+__all__ = [
+    "BvNTerm",
+    "birkhoff_decomposition",
+    "decompose_demand",
+    "reconstruct",
+    "is_doubly_stochastic",
+    "is_doubly_substochastic",
+    "is_scaled_doubly_stochastic",
+    "row_col_sums",
+    "sinkhorn_scale",
+    "Observation1Report",
+    "aggregate_demand",
+    "verify_observation1",
+]

@@ -1,0 +1,160 @@
+"""Birkhoff-von Neumann decomposition (paper §2, §3.2).
+
+Expresses an aggregate demand matrix as a weighted sum of (partial)
+permutation matrices.  Two entry points:
+
+* :func:`birkhoff_decomposition` — the classic theorem: requires a
+  (scaled) doubly stochastic matrix, returns full permutations, and
+  terminates within ``(n-1)^2 + 1`` terms.
+* :func:`decompose_demand` — a generalized greedy variant for arbitrary
+  non-negative matrices (e.g. aggregates of collectives whose steps are
+  partial matchings): peels maximum-cardinality matchings until the
+  matrix is exhausted.
+
+Both reconstruct the input exactly (up to ``tol``); the test suite
+asserts this as a property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import DecompositionError
+from ..matching import Matching
+from .doubly_stochastic import is_scaled_doubly_stochastic
+
+__all__ = ["BvNTerm", "birkhoff_decomposition", "decompose_demand", "reconstruct"]
+
+
+@dataclass(frozen=True)
+class BvNTerm:
+    """One term ``weight * M`` of a BvN decomposition."""
+
+    weight: float
+    matching: Matching
+
+
+def _support_matching(matrix: np.ndarray, tol: float) -> Matching:
+    """Maximum-cardinality matching on the positive support of ``matrix``.
+
+    Rows are sources, columns are destinations.  Diagonal entries are
+    ignored (a GPU exchanges no fabric traffic with itself).
+    """
+    n = matrix.shape[0]
+    graph = nx.Graph()
+    rows = [("r", i) for i in range(n)]
+    graph.add_nodes_from(rows, bipartite=0)
+    graph.add_nodes_from((("c", j) for j in range(n)), bipartite=1)
+    for i in range(n):
+        for j in range(n):
+            if i != j and matrix[i, j] > tol:
+                graph.add_edge(("r", i), ("c", j))
+    matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=rows)
+    pairs = [
+        (key[1], value[1])
+        for key, value in matching.items()
+        if key[0] == "r"
+    ]
+    return Matching(n, pairs)
+
+
+def birkhoff_decomposition(
+    matrix: np.ndarray,
+    tol: float = 1e-9,
+    max_terms: int | None = None,
+) -> list[BvNTerm]:
+    """Decompose a (scaled) doubly stochastic matrix into permutations.
+
+    Parameters
+    ----------
+    matrix:
+        Square, non-negative, with all row/column sums equal (any
+        positive scale; a zero diagonal is expected for fabric traffic).
+    tol:
+        Entries below ``tol`` (relative to the largest entry) are
+        treated as zero.
+    max_terms:
+        Safety valve; defaults to ``(n-1)**2 + 1``, the Birkhoff bound.
+    """
+    matrix = np.array(matrix, dtype=float)
+    if not is_scaled_doubly_stochastic(matrix, tol=max(tol, 1e-9)):
+        raise DecompositionError(
+            "birkhoff_decomposition requires a scaled doubly stochastic "
+            "matrix; use decompose_demand for general demands"
+        )
+    n = matrix.shape[0]
+    if max_terms is None:
+        max_terms = (n - 1) ** 2 + 1
+    scale = float(matrix.max())
+    threshold = tol * max(scale, 1.0)
+    terms: list[BvNTerm] = []
+    remaining = matrix
+    for _ in range(max_terms):
+        if remaining.max() <= threshold:
+            return terms
+        matching = _support_matching(remaining, threshold)
+        if len(matching) < n:
+            raise DecompositionError(
+                "support has no perfect matching; matrix is not doubly "
+                "stochastic up to tolerance"
+            )
+        weight = float(min(remaining[src, dst] for src, dst in matching))
+        for src, dst in matching:
+            remaining[src, dst] -= weight
+        remaining[remaining < threshold] = 0.0
+        terms.append(BvNTerm(weight, matching))
+    if remaining.max() > threshold:
+        raise DecompositionError(
+            f"decomposition did not terminate within {max_terms} terms"
+        )
+    return terms
+
+
+def decompose_demand(
+    matrix: np.ndarray,
+    tol: float = 1e-9,
+) -> list[BvNTerm]:
+    """Greedy matching decomposition for arbitrary non-negative demands.
+
+    Peels a maximum-cardinality support matching per round, weighted by
+    the smallest matched entry; each round zeroes at least one entry, so
+    at most ``n^2`` terms are produced.  The result reconstructs the
+    input exactly but is not guaranteed to be minimal.
+    """
+    matrix = np.array(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DecompositionError(f"matrix must be square, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise DecompositionError("matrix entries must be non-negative")
+    if np.diag(matrix).max(initial=0.0) > 0:
+        raise DecompositionError("demand matrix must have a zero diagonal")
+    scale = float(matrix.max(initial=0.0))
+    if scale == 0.0:
+        return []
+    threshold = tol * max(scale, 1.0)
+    terms: list[BvNTerm] = []
+    remaining = matrix
+    for _ in range(matrix.size + 1):
+        if remaining.max() <= threshold:
+            return terms
+        matching = _support_matching(remaining, threshold)
+        if len(matching) == 0:
+            raise DecompositionError("positive entries remain but no matching found")
+        weight = float(min(remaining[src, dst] for src, dst in matching))
+        for src, dst in matching:
+            remaining[src, dst] -= weight
+        remaining[remaining < threshold] = 0.0
+        terms.append(BvNTerm(weight, matching))
+    raise DecompositionError("decomposition did not terminate")
+
+
+def reconstruct(terms: list[BvNTerm], n: int) -> np.ndarray:
+    """Sum ``weight * M`` over the decomposition terms."""
+    total = np.zeros((n, n), dtype=float)
+    for term in terms:
+        for src, dst in term.matching:
+            total[src, dst] += term.weight
+    return total

@@ -1,0 +1,92 @@
+"""Doubly-stochastic matrix utilities for BvN analysis (paper §3.2).
+
+The Birkhoff-von Neumann theorem applies to doubly stochastic matrices;
+aggregate collective demands are *scaled* doubly stochastic (all row and
+column sums equal the per-GPU traffic volume) when every step is a full
+permutation, and doubly *sub*-stochastic otherwise.  This module
+provides the predicates and the classic Sinkhorn-Knopp scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DecompositionError
+
+__all__ = [
+    "row_col_sums",
+    "is_doubly_stochastic",
+    "is_scaled_doubly_stochastic",
+    "is_doubly_substochastic",
+    "sinkhorn_scale",
+]
+
+
+def _validate_square_nonnegative(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DecompositionError(f"matrix must be square, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise DecompositionError("matrix entries must be non-negative")
+    return matrix
+
+
+def row_col_sums(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row sums and column sums of a square non-negative matrix."""
+    matrix = _validate_square_nonnegative(matrix)
+    return matrix.sum(axis=1), matrix.sum(axis=0)
+
+
+def is_doubly_stochastic(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """All row and column sums equal 1 (within ``tol``)."""
+    rows, cols = row_col_sums(matrix)
+    return bool(
+        np.allclose(rows, 1.0, atol=tol) and np.allclose(cols, 1.0, atol=tol)
+    )
+
+
+def is_scaled_doubly_stochastic(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """All row and column sums equal a common positive constant."""
+    rows, cols = row_col_sums(matrix)
+    scale = rows.mean()
+    if scale <= tol:
+        return False
+    return bool(
+        np.allclose(rows, scale, atol=tol * max(1.0, scale))
+        and np.allclose(cols, scale, atol=tol * max(1.0, scale))
+    )
+
+
+def is_doubly_substochastic(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """All row and column sums are at most 1 (within ``tol``)."""
+    rows, cols = row_col_sums(matrix)
+    return bool((rows <= 1.0 + tol).all() and (cols <= 1.0 + tol).all())
+
+
+def sinkhorn_scale(
+    matrix: np.ndarray,
+    tol: float = 1e-10,
+    max_iterations: int = 10_000,
+) -> np.ndarray:
+    """Scale a matrix with total support to doubly stochastic form.
+
+    Alternates row and column normalization (Sinkhorn-Knopp).  Raises
+    :class:`DecompositionError` if any row or column is entirely zero or
+    convergence is not reached — both indicate the input cannot be
+    scaled (e.g. a demand matrix with an idle GPU).
+    """
+    matrix = _validate_square_nonnegative(matrix).copy()
+    rows, cols = row_col_sums(matrix)
+    if (rows == 0).any() or (cols == 0).any():
+        raise DecompositionError(
+            "matrix has a zero row or column; Sinkhorn scaling impossible"
+        )
+    for _ in range(max_iterations):
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        matrix /= matrix.sum(axis=0, keepdims=True)
+        rows, cols = row_col_sums(matrix)
+        if np.allclose(rows, 1.0, atol=tol) and np.allclose(cols, 1.0, atol=tol):
+            return matrix
+    raise DecompositionError(
+        f"Sinkhorn scaling did not converge in {max_iterations} iterations"
+    )

@@ -1,0 +1,58 @@
+"""Collective communication algorithms as matching sequences (paper §3.2).
+
+Every algorithm here emits both the schedule-level view the optimizer
+consumes (matchings + per-pair volumes) and a block-level transfer plan
+that the semantics engine executes to *prove* the collective's
+postcondition.
+"""
+
+from .allgather import allgather_bruck, allgather_recursive_doubling, allgather_ring
+from .allreduce_rd_full import allreduce_recursive_doubling_full
+from .allreduce_rhd import allreduce_recursive_halving_doubling
+from .allreduce_ring import allreduce_ring
+from .allreduce_swing import allreduce_swing, swing_distance
+from .alltoall import alltoall_linear_shift, alltoall_pairwise_xor
+from .barrier import barrier_dissemination
+from .base import Collective, Step, Transfer, TransferKind, compose_sequence
+from .broadcast import broadcast_binomial, gather_binomial, scatter_binomial
+from .reduce_scatter import reduce_scatter_halving, reduce_scatter_ring
+from .registry import PAPER_ALGORITHMS, available_collectives, make_collective
+from .subset import embed_collective
+from .semantics import (
+    PossessionTracker,
+    ReductionTracker,
+    SemanticsReport,
+    verify_collective,
+)
+
+__all__ = [
+    "Collective",
+    "Step",
+    "Transfer",
+    "TransferKind",
+    "compose_sequence",
+    "embed_collective",
+    "allreduce_ring",
+    "allreduce_recursive_halving_doubling",
+    "allreduce_recursive_doubling_full",
+    "allreduce_swing",
+    "swing_distance",
+    "alltoall_linear_shift",
+    "alltoall_pairwise_xor",
+    "allgather_ring",
+    "allgather_recursive_doubling",
+    "allgather_bruck",
+    "reduce_scatter_ring",
+    "reduce_scatter_halving",
+    "broadcast_binomial",
+    "scatter_binomial",
+    "gather_binomial",
+    "barrier_dissemination",
+    "available_collectives",
+    "make_collective",
+    "PAPER_ALGORITHMS",
+    "verify_collective",
+    "ReductionTracker",
+    "PossessionTracker",
+    "SemanticsReport",
+]

@@ -1,0 +1,222 @@
+"""Generic pairwise-exchange reduce-scatter/allgather AllReduce builder.
+
+Recursive halving/doubling (Rabenseifner) and Swing (De Sensi et al.)
+share one skeleton: ``q = log2(n)`` reduce-scatter steps followed by the
+mirrored ``q`` allgather steps, where step ``s`` pairs every rank with a
+peer ``p_s(i)`` and exchanges half of the still-active chunk range.
+
+Which chunks move is fully determined by the *cover sets*::
+
+    cover(i, q)  = {i}
+    cover(i, s)  = cover(i, s+1)  ∪  cover(p_s(i), s+1)
+
+``cover(i, s)`` is the set of final chunk owners still reachable from
+rank ``i`` using steps ``s..q-1``.  During reduce-scatter step ``s``,
+rank ``i`` sends the partial chunks owned by ``cover(p, s+1)`` (the
+owners only its peer can still serve) and keeps ``cover(i, s+1)``.
+During the mirrored allgather step, ``i`` returns the fully-reduced
+chunks of ``cover(i, s+1)``.
+
+The builder *verifies* the two structural requirements instead of
+assuming them — peers must be fixed-point-free involutions, and the
+covers of each pair must partition — so an invalid peer schedule (e.g.
+Swing distances on a non-power-of-two ring) fails loudly at
+construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from .._validation import require_non_negative, require_power_of_two
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = ["build_pairwise_allreduce", "build_pairwise_reduce_scatter", "compute_covers"]
+
+PeerFunction = Callable[[int, int], int]
+"""Maps ``(rank, step)`` to the rank's peer at that step."""
+
+
+def _peer_table(n: int, n_steps: int, peer_of: PeerFunction) -> list[list[int]]:
+    """Evaluate and validate the peer function for every (step, rank)."""
+    table: list[list[int]] = []
+    for s in range(n_steps):
+        row = []
+        for i in range(n):
+            p = int(peer_of(i, s))
+            if not 0 <= p < n:
+                raise CollectiveError(f"peer {p} of rank {i} at step {s} out of range")
+            if p == i:
+                raise CollectiveError(f"rank {i} is its own peer at step {s}")
+            row.append(p)
+        for i in range(n):
+            if row[row[i]] != i:
+                raise CollectiveError(
+                    f"peer schedule at step {s} is not an involution: "
+                    f"{i} -> {row[i]} -> {row[row[i]]}"
+                )
+        table.append(row)
+    return table
+
+
+def compute_covers(
+    n: int, peers: Sequence[Sequence[int]]
+) -> list[list[frozenset[int]]]:
+    """Compute ``cover(i, s)`` for all ranks and steps, verifying the
+    partition property required for a valid recursive reduce-scatter.
+
+    Returns ``covers`` with ``covers[s][i] == cover(i, s)`` for
+    ``s in 0..q`` (index ``q`` is the singleton base case).
+    """
+    q = len(peers)
+    covers: list[list[frozenset[int]]] = [
+        [frozenset() for _ in range(n)] for _ in range(q + 1)
+    ]
+    covers[q] = [frozenset({i}) for i in range(n)]
+    for s in range(q - 1, -1, -1):
+        for i in range(n):
+            p = peers[s][i]
+            mine = covers[s + 1][i]
+            theirs = covers[s + 1][p]
+            if mine & theirs:
+                raise CollectiveError(
+                    f"cover sets of pair ({i}, {p}) overlap at step {s}: "
+                    "peer schedule does not form a valid recursive halving"
+                )
+            covers[s][i] = mine | theirs
+    full = frozenset(range(n))
+    for i in range(n):
+        if covers[0][i] != full:
+            raise CollectiveError(
+                f"rank {i} reaches only {len(covers[0][i])}/{n} ranks; "
+                "peer schedule is not a complete dissemination"
+            )
+    return covers
+
+
+def _reduce_scatter_steps(
+    n: int,
+    chunk_size: float,
+    peers: Sequence[Sequence[int]],
+    covers: Sequence[Sequence[frozenset[int]]],
+    label_prefix: str,
+) -> list[Step]:
+    steps = []
+    q = len(peers)
+    for s in range(q):
+        transfers = [
+            Transfer(
+                i,
+                peers[s][i],
+                tuple(sorted(covers[s + 1][peers[s][i]])),
+                TransferKind.REDUCE,
+            )
+            for i in range(n)
+        ]
+        matching = Matching(n, [(i, peers[s][i]) for i in range(n)])
+        steps.append(
+            Step(
+                matching=matching,
+                volume=len(covers[s + 1][0]) * chunk_size,
+                transfers=transfers,
+                label=f"{label_prefix} rs s={s}",
+            )
+        )
+    return steps
+
+
+def _allgather_steps(
+    n: int,
+    chunk_size: float,
+    peers: Sequence[Sequence[int]],
+    covers: Sequence[Sequence[frozenset[int]]],
+    label_prefix: str,
+) -> list[Step]:
+    steps = []
+    q = len(peers)
+    for s in range(q - 1, -1, -1):
+        transfers = [
+            Transfer(
+                i,
+                peers[s][i],
+                tuple(sorted(covers[s + 1][i])),
+                TransferKind.OVERWRITE,
+            )
+            for i in range(n)
+        ]
+        matching = Matching(n, [(i, peers[s][i]) for i in range(n)])
+        steps.append(
+            Step(
+                matching=matching,
+                volume=len(covers[s + 1][0]) * chunk_size,
+                transfers=transfers,
+                label=f"{label_prefix} ag s={s}",
+            )
+        )
+    return steps
+
+
+def build_pairwise_allreduce(
+    name: str,
+    n: int,
+    message_size: float,
+    peer_of: PeerFunction,
+) -> Collective:
+    """Build a bandwidth-optimal RS+AG AllReduce from a peer schedule.
+
+    ``n`` must be a power of two; volumes per step are
+    ``m/2, m/4, ..., m/n`` (reduce-scatter) then mirrored back up
+    (allgather), totalling the optimal ``2 m (n-1)/n`` per rank.
+    """
+    n = require_power_of_two(n, "n", CollectiveError)
+    if n < 2:
+        raise CollectiveError("pairwise allreduce requires n >= 2")
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    q = n.bit_length() - 1
+    peers = _peer_table(n, q, peer_of)
+    covers = compute_covers(n, peers)
+    chunk_size = message_size / n
+    steps = _reduce_scatter_steps(n, chunk_size, peers, covers, name) + _allgather_steps(
+        n, chunk_size, peers, covers, name
+    )
+    return Collective(
+        name=name,
+        kind="allreduce",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=chunk_size,
+        n_chunks=n,
+    )
+
+
+def build_pairwise_reduce_scatter(
+    name: str,
+    n: int,
+    message_size: float,
+    peer_of: PeerFunction,
+) -> Collective:
+    """The reduce-scatter half of :func:`build_pairwise_allreduce`.
+
+    Rank ``i`` ends owning chunk ``i`` fully reduced (``cover(i, q)``
+    is the singleton ``{i}``).
+    """
+    n = require_power_of_two(n, "n", CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    q = n.bit_length() - 1
+    peers = _peer_table(n, q, peer_of)
+    covers = compute_covers(n, peers)
+    chunk_size = message_size / n
+    steps = _reduce_scatter_steps(n, chunk_size, peers, covers, name)
+    return Collective(
+        name=name,
+        kind="reduce_scatter",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=chunk_size,
+        n_chunks=n,
+        metadata={"owner_of_chunk": {c: c for c in range(n)}},
+    )

@@ -1,0 +1,136 @@
+"""AllGather collectives: ring, recursive doubling, and Bruck.
+
+``message_size`` is the fully gathered buffer (``n`` blocks of ``m/n``,
+block ``j`` initially held by rank ``j``).  The three schedules trade
+step count against per-step pattern structure:
+
+* ring — ``n-1`` shift-by-one steps of ``m/n`` each;
+* recursive doubling — ``log2(n)`` XOR steps with doubling volumes
+  (power-of-two ``n``);
+* Bruck — ``ceil(log2 n)`` shift steps with doubling volumes, any ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import (
+    require_node_count,
+    require_non_negative,
+    require_power_of_two,
+)
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = ["allgather_ring", "allgather_recursive_doubling", "allgather_bruck"]
+
+
+def allgather_ring(n: int, message_size: float) -> Collective:
+    """Build the ring AllGather (any ``n >= 2``)."""
+    n = require_node_count(n, CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    block = message_size / n
+    shift = Matching.shift(n, 1)
+    steps = []
+    for t in range(n - 1):
+        transfers = [
+            Transfer(j, (j + 1) % n, ((j - t) % n,), TransferKind.OVERWRITE)
+            for j in range(n)
+        ]
+        steps.append(
+            Step(matching=shift, volume=block, transfers=transfers, label=f"ag t={t}")
+        )
+    return Collective(
+        name="allgather_ring",
+        kind="allgather",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n,
+    )
+
+
+def allgather_recursive_doubling(n: int, message_size: float) -> Collective:
+    """Build the recursive-doubling AllGather (``n`` a power of two).
+
+    At step ``s`` rank ``j`` exchanges its aligned block of ``2^s``
+    chunks with ``j XOR 2^s``.
+    """
+    n = require_power_of_two(n, "n", CollectiveError)
+    if n < 2:
+        raise CollectiveError("recursive doubling allgather requires n >= 2")
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    block = message_size / n
+    q = n.bit_length() - 1
+    steps = []
+    for s in range(q):
+        distance = 1 << s
+        transfers = []
+        for j in range(n):
+            base = j & ~(distance - 1) if distance > 1 else j
+            held = tuple(range(base, base + distance))
+            transfers.append(
+                Transfer(j, j ^ distance, held, TransferKind.OVERWRITE)
+            )
+        steps.append(
+            Step(
+                matching=Matching.xor_exchange(n, distance),
+                volume=distance * block,
+                transfers=transfers,
+                label=f"rd s={s}",
+            )
+        )
+    return Collective(
+        name="allgather_recursive_doubling",
+        kind="allgather",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n,
+    )
+
+
+def allgather_bruck(n: int, message_size: float) -> Collective:
+    """Build the Bruck AllGather (``ceil(log2 n)`` steps, any ``n``).
+
+    At step ``s`` rank ``j`` sends its first ``min(2^s, n - 2^s)``
+    chunks (in its rotated view) to rank ``j - 2^s``.
+    """
+    n = require_node_count(n, CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    block = message_size / n
+    q = math.ceil(math.log2(n))
+    steps = []
+    for s in range(q):
+        distance = 1 << s
+        count = min(distance, n - distance)
+        matching = Matching.shift(n, (-distance) % n)
+        transfers = [
+            Transfer(
+                j,
+                (j - distance) % n,
+                tuple((j + t) % n for t in range(count)),
+                TransferKind.OVERWRITE,
+            )
+            for j in range(n)
+        ]
+        steps.append(
+            Step(
+                matching=matching,
+                volume=count * block,
+                transfers=transfers,
+                label=f"bruck s={s}",
+            )
+        )
+    return Collective(
+        name="allgather_bruck",
+        kind="allgather",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n,
+    )

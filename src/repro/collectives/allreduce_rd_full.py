@@ -1,0 +1,53 @@
+"""Full-vector recursive doubling AllReduce (latency-optimal variant).
+
+Every step exchanges the *entire* ``m``-bit vector with peer
+``i XOR 2^s``, completing in only ``log2(n)`` steps at the price of
+``m log2(n)`` bits per rank (vs the bandwidth-optimal
+``2 m (n-1)/n``).  Attractive for small messages or high per-step
+latency — precisely the regime the paper's optimizer navigates.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_non_negative, require_power_of_two
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = ["allreduce_recursive_doubling_full"]
+
+
+def allreduce_recursive_doubling_full(n: int, message_size: float) -> Collective:
+    """Build the full-vector recursive doubling AllReduce (``n = 2^q``)."""
+    n = require_power_of_two(n, "n", CollectiveError)
+    if n < 2:
+        raise CollectiveError("recursive doubling requires n >= 2")
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    q = n.bit_length() - 1
+    chunk_size = message_size / n
+    all_chunks = tuple(range(n))
+    steps = []
+    for s in range(q):
+        distance = 1 << s
+        matching = Matching.xor_exchange(n, distance)
+        transfers = [
+            Transfer(i, i ^ distance, all_chunks, TransferKind.REDUCE)
+            for i in range(n)
+        ]
+        steps.append(
+            Step(
+                matching=matching,
+                volume=message_size,
+                transfers=transfers,
+                label=f"rd-full s={s}",
+            )
+        )
+    return Collective(
+        name="allreduce_recursive_doubling_full",
+        kind="allreduce",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=chunk_size,
+        n_chunks=n,
+    )

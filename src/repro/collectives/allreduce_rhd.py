@@ -1,0 +1,29 @@
+"""Recursive halving/doubling AllReduce (Rabenseifner, paper ref [30]).
+
+This is the algorithm the paper's figures label "recursive doubling":
+a bandwidth-optimal ``2 log2(n)``-step AllReduce whose step ``s`` pairs
+rank ``i`` with ``i XOR n/2^(s+1)`` — largest hop distance first — and
+exchanges volumes ``m/2, m/4, ..., m/n`` down and back up.
+
+On a ring base topology these XOR pairs are far apart, which is exactly
+what makes reconfiguration attractive for this algorithm (paper §3.4).
+"""
+
+from __future__ import annotations
+
+from ._pairwise import build_pairwise_allreduce
+from .base import Collective
+
+__all__ = ["allreduce_recursive_halving_doubling"]
+
+
+def allreduce_recursive_halving_doubling(n: int, message_size: float) -> Collective:
+    """Build the recursive halving/doubling AllReduce (``n`` a power of 2)."""
+    q = max(int(n).bit_length() - 1, 1)
+
+    def peer_of(rank: int, step: int) -> int:
+        return rank ^ (1 << (q - 1 - step))
+
+    return build_pairwise_allreduce(
+        "allreduce_recursive_doubling", n, message_size, peer_of
+    )

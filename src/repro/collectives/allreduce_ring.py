@@ -1,0 +1,82 @@
+"""Ring AllReduce: reduce-scatter + allgather over shift-by-one steps.
+
+The bandwidth-optimal classic for ring topologies: ``2(n-1)`` steps,
+each moving ``m/n`` bits along the shift-by-one permutation.  On a
+static ring every step has ``theta`` near 1 and one-hop paths, which is
+why (paper §4, propagation-delay discussion) the ring algorithm remains
+optimal on static rings despite its step count.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_node_count, require_non_negative
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = ["allreduce_ring"]
+
+
+def _ring_reduce_scatter_steps(n: int, chunk_size: float) -> list[Step]:
+    shift = Matching.shift(n, 1)
+    steps = []
+    for t in range(n - 1):
+        transfers = [
+            Transfer(j, (j + 1) % n, ((j - t) % n,), TransferKind.REDUCE)
+            for j in range(n)
+        ]
+        steps.append(
+            Step(
+                matching=shift,
+                volume=chunk_size,
+                transfers=transfers,
+                label=f"rs t={t}",
+            )
+        )
+    return steps
+
+
+def _ring_allgather_steps(n: int, chunk_size: float) -> list[Step]:
+    shift = Matching.shift(n, 1)
+    steps = []
+    for t in range(n - 1):
+        transfers = [
+            Transfer(j, (j + 1) % n, ((j + 1 - t) % n,), TransferKind.OVERWRITE)
+            for j in range(n)
+        ]
+        steps.append(
+            Step(
+                matching=shift,
+                volume=chunk_size,
+                transfers=transfers,
+                label=f"ag t={t}",
+            )
+        )
+    return steps
+
+
+def allreduce_ring(n: int, message_size: float) -> Collective:
+    """Build the ring AllReduce collective.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks (any ``n >= 2``).
+    message_size:
+        Bits per GPU being all-reduced.
+    """
+    n = require_node_count(n, CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    chunk_size = message_size / n
+    steps = _ring_reduce_scatter_steps(n, chunk_size) + _ring_allgather_steps(
+        n, chunk_size
+    )
+    return Collective(
+        name="allreduce_ring",
+        kind="allreduce",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=chunk_size,
+        n_chunks=n,
+    )

@@ -1,0 +1,97 @@
+"""All-to-All (transpose) collectives — the third workload of §3.4.
+
+Each rank holds ``m`` bits partitioned into ``n`` blocks of ``m/n``,
+block ``(j, k)`` destined for rank ``k``.  Two classic direct schedules:
+
+* :func:`alltoall_linear_shift` — step ``k`` realizes the shift-``k``
+  permutation (``n-1`` steps, any ``n``); this is the "transpose"
+  collective the paper evaluates.
+* :func:`alltoall_pairwise_xor` — step ``k`` pairs ``j`` with
+  ``j XOR k`` (``n-1`` steps, power-of-two ``n``); every step is an
+  involution, friendlier to bidirectional circuits.
+
+Chunk id convention: block from ``src`` to ``dst`` is ``src * n + dst``.
+"""
+
+from __future__ import annotations
+
+from .._validation import (
+    require_node_count,
+    require_non_negative,
+    require_power_of_two,
+)
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = ["alltoall_linear_shift", "alltoall_pairwise_xor"]
+
+
+def alltoall_linear_shift(n: int, message_size: float) -> Collective:
+    """Build the linear-shift (transpose) All-to-All.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks (any ``n >= 2``).
+    message_size:
+        Total bits each rank sends (``m``); each peer receives ``m/n``.
+    """
+    n = require_node_count(n, CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    block = message_size / n
+    steps = []
+    for k in range(1, n):
+        transfers = [
+            Transfer(j, (j + k) % n, (j * n + (j + k) % n,), TransferKind.OVERWRITE)
+            for j in range(n)
+        ]
+        steps.append(
+            Step(
+                matching=Matching.shift(n, k),
+                volume=block,
+                transfers=transfers,
+                label=f"shift k={k}",
+            )
+        )
+    return Collective(
+        name="alltoall",
+        kind="alltoall",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n * n,
+    )
+
+
+def alltoall_pairwise_xor(n: int, message_size: float) -> Collective:
+    """Build the pairwise-exchange All-to-All (``n`` a power of two)."""
+    n = require_power_of_two(n, "n", CollectiveError)
+    if n < 2:
+        raise CollectiveError("pairwise all-to-all requires n >= 2")
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    block = message_size / n
+    steps = []
+    for k in range(1, n):
+        transfers = [
+            Transfer(j, j ^ k, (j * n + (j ^ k),), TransferKind.OVERWRITE)
+            for j in range(n)
+        ]
+        steps.append(
+            Step(
+                matching=Matching.xor_exchange(n, k),
+                volume=block,
+                transfers=transfers,
+                label=f"xor k={k}",
+            )
+        )
+    return Collective(
+        name="alltoall_pairwise_xor",
+        kind="alltoall",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n * n,
+    )

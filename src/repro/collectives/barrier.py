@@ -1,0 +1,42 @@
+"""Dissemination barrier: a zero-volume collective.
+
+``ceil(log2 n)`` rounds of shift-by-``2^s`` notifications; after round
+``q`` every rank has (transitively) heard from every other rank.  At
+zero volume, its completion time isolates the latency and propagation
+terms of the cost model — useful in tests and the propagation-delay
+study.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import require_node_count
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step
+
+__all__ = ["barrier_dissemination"]
+
+
+def barrier_dissemination(n: int) -> Collective:
+    """Build the dissemination barrier over ``n`` ranks (any ``n >= 2``)."""
+    n = require_node_count(n, CollectiveError)
+    q = math.ceil(math.log2(n))
+    steps = [
+        Step(
+            matching=Matching.shift(n, 1 << s),
+            volume=0.0,
+            label=f"barrier s={s}",
+        )
+        for s in range(q)
+    ]
+    return Collective(
+        name="barrier_dissemination",
+        kind="barrier",
+        n=n,
+        message_size=0.0,
+        steps=steps,
+        chunk_size=0.0,
+        n_chunks=0,
+    )

@@ -1,0 +1,166 @@
+"""Rooted collectives on binomial trees: broadcast, scatter, gather.
+
+These produce *partial* matchings (only part of the domain communicates
+per step), exercising the sub-permutation path of the framework: the
+matched topology for such a step reconfigures only the involved ports
+(paper §3.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import (
+    require_node_count,
+    require_non_negative,
+    require_power_of_two,
+    require_rank,
+)
+from ..exceptions import CollectiveError
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = ["broadcast_binomial", "scatter_binomial", "gather_binomial"]
+
+
+def broadcast_binomial(n: int, message_size: float, root: int = 0) -> Collective:
+    """Binomial-tree broadcast: ``ceil(log2 n)`` doubling steps, any ``n``.
+
+    At step ``s``, every rank that already holds the message (virtual
+    ranks ``< 2^s``) forwards it to virtual rank ``+2^s``.
+    """
+    n = require_node_count(n, CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    root = require_rank(root, n, CollectiveError)
+    q = math.ceil(math.log2(n))
+    steps = []
+    for s in range(q):
+        transfers = []
+        for virtual in range(1 << s):
+            target = virtual + (1 << s)
+            if target < n:
+                transfers.append(
+                    Transfer(
+                        (root + virtual) % n,
+                        (root + target) % n,
+                        (0,),
+                        TransferKind.OVERWRITE,
+                    )
+                )
+        steps.append(
+            Step(
+                transfers=transfers,
+                n=n,
+                volume=message_size,
+                label=f"bcast s={s}",
+            )
+        )
+    return Collective(
+        name="broadcast_binomial",
+        kind="broadcast",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=message_size,
+        n_chunks=1,
+        metadata={"root": root},
+    )
+
+
+def _subtree_chunks(n: int, root: int, virtual_lo: int, virtual_hi: int) -> tuple[int, ...]:
+    """Actual-rank chunk ids for a virtual-rank interval."""
+    return tuple(sorted((root + v) % n for v in range(virtual_lo, virtual_hi)))
+
+
+def scatter_binomial(n: int, message_size: float, root: int = 0) -> Collective:
+    """Binomial-tree scatter (``n`` a power of two).
+
+    The root starts with ``n`` blocks; at step ``s`` (halving distance
+    ``d = n/2^(s+1)``) every subtree head forwards the half destined for
+    its peer subtree.  Rank ``j`` ends with chunk ``j`` (chunks indexed
+    by actual destination rank).
+    """
+    n = require_power_of_two(n, "n", CollectiveError)
+    if n < 2:
+        raise CollectiveError("scatter requires n >= 2")
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    root = require_rank(root, n, CollectiveError)
+    block = message_size / n
+    q = n.bit_length() - 1
+    steps = []
+    for s in range(q):
+        distance = n >> (s + 1)
+        transfers = []
+        for head in range(0, n, 2 * distance):
+            transfers.append(
+                Transfer(
+                    (root + head) % n,
+                    (root + head + distance) % n,
+                    _subtree_chunks(n, root, head + distance, head + 2 * distance),
+                    TransferKind.OVERWRITE,
+                )
+            )
+        steps.append(
+            Step(
+                transfers=transfers,
+                n=n,
+                volume=distance * block,
+                label=f"scatter s={s}",
+            )
+        )
+    return Collective(
+        name="scatter_binomial",
+        kind="scatter",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n,
+        metadata={"root": root},
+    )
+
+
+def gather_binomial(n: int, message_size: float, root: int = 0) -> Collective:
+    """Binomial-tree gather (``n`` a power of two): the mirror of scatter.
+
+    Distances double (1, 2, ..., n/2); every subtree head receives its
+    peer's accumulated interval.  Chunks are indexed by the actual
+    source rank.
+    """
+    n = require_power_of_two(n, "n", CollectiveError)
+    if n < 2:
+        raise CollectiveError("gather requires n >= 2")
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    root = require_rank(root, n, CollectiveError)
+    block = message_size / n
+    q = n.bit_length() - 1
+    steps = []
+    for s in range(q - 1, -1, -1):
+        distance = n >> (s + 1)
+        transfers = []
+        for head in range(0, n, 2 * distance):
+            transfers.append(
+                Transfer(
+                    (root + head + distance) % n,
+                    (root + head) % n,
+                    _subtree_chunks(n, root, head + distance, head + 2 * distance),
+                    TransferKind.OVERWRITE,
+                )
+            )
+        steps.append(
+            Step(
+                transfers=transfers,
+                n=n,
+                volume=distance * block,
+                label=f"gather d={distance}",
+            )
+        )
+    return Collective(
+        name="gather_binomial",
+        kind="gather",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=block,
+        n_chunks=n,
+        metadata={"root": root},
+    )

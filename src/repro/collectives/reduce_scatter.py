@@ -1,0 +1,51 @@
+"""ReduceScatter collectives: ring and recursive halving variants."""
+
+from __future__ import annotations
+
+from .._validation import require_node_count, require_non_negative
+from ..exceptions import CollectiveError
+from ._pairwise import build_pairwise_reduce_scatter
+from .allreduce_ring import _ring_reduce_scatter_steps
+from .base import Collective
+
+__all__ = ["reduce_scatter_ring", "reduce_scatter_halving"]
+
+
+def reduce_scatter_ring(n: int, message_size: float) -> Collective:
+    """Ring ReduceScatter: ``n-1`` shift-by-one steps of ``m/n`` each.
+
+    Rank ``j`` ends owning chunk ``(j+1) mod n`` fully reduced (the
+    standard ring indexing, matching the reduce-scatter phase of
+    :func:`~repro.collectives.allreduce_ring.allreduce_ring`).
+    """
+    n = require_node_count(n, CollectiveError)
+    message_size = require_non_negative(message_size, "message_size", CollectiveError)
+    chunk_size = message_size / n
+    steps = _ring_reduce_scatter_steps(n, chunk_size)
+    owner_of_chunk = {(j + 1) % n: j for j in range(n)}
+    return Collective(
+        name="reduce_scatter_ring",
+        kind="reduce_scatter",
+        n=n,
+        message_size=message_size,
+        steps=steps,
+        chunk_size=chunk_size,
+        n_chunks=n,
+        metadata={"owner_of_chunk": owner_of_chunk},
+    )
+
+
+def reduce_scatter_halving(n: int, message_size: float) -> Collective:
+    """Recursive-halving ReduceScatter (``n`` a power of two).
+
+    ``log2(n)`` XOR-pair steps with volumes ``m/2 ... m/n``; rank ``j``
+    ends owning chunk ``j``.
+    """
+    q = max(int(n).bit_length() - 1, 1)
+
+    def peer_of(rank: int, step: int) -> int:
+        return rank ^ (1 << (q - 1 - step))
+
+    return build_pairwise_reduce_scatter(
+        "reduce_scatter_halving", n, message_size, peer_of
+    )

@@ -1,0 +1,72 @@
+"""Name-based registry of collective algorithm factories.
+
+The experiment harness and CLI refer to algorithms by name; this module
+is the single source of truth for what exists.  ``PAPER_ALGORITHMS``
+lists the three workloads of the paper's evaluation (§3.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..exceptions import CollectiveError
+from .allgather import allgather_bruck, allgather_recursive_doubling, allgather_ring
+from .allreduce_rd_full import allreduce_recursive_doubling_full
+from .allreduce_rhd import allreduce_recursive_halving_doubling
+from .allreduce_ring import allreduce_ring
+from .allreduce_swing import allreduce_swing
+from .alltoall import alltoall_linear_shift, alltoall_pairwise_xor
+from .base import Collective
+from .broadcast import broadcast_binomial, gather_binomial, scatter_binomial
+from .reduce_scatter import reduce_scatter_halving, reduce_scatter_ring
+
+__all__ = [
+    "available_collectives",
+    "make_collective",
+    "PAPER_ALGORITHMS",
+]
+
+CollectiveFactory = Callable[[int, float], Collective]
+
+_REGISTRY: dict[str, CollectiveFactory] = {
+    "allreduce_ring": allreduce_ring,
+    "allreduce_recursive_doubling": allreduce_recursive_halving_doubling,
+    "allreduce_recursive_doubling_full": allreduce_recursive_doubling_full,
+    "allreduce_swing": allreduce_swing,
+    "alltoall": alltoall_linear_shift,
+    "alltoall_pairwise_xor": alltoall_pairwise_xor,
+    "allgather_ring": allgather_ring,
+    "allgather_recursive_doubling": allgather_recursive_doubling,
+    "allgather_bruck": allgather_bruck,
+    "reduce_scatter_ring": reduce_scatter_ring,
+    "reduce_scatter_halving": reduce_scatter_halving,
+    "broadcast_binomial": broadcast_binomial,
+    "scatter_binomial": scatter_binomial,
+    "gather_binomial": gather_binomial,
+}
+
+#: The collectives evaluated in the paper's Figure 1 / Figure 2.
+PAPER_ALGORITHMS: tuple[str, ...] = (
+    "allreduce_recursive_doubling",
+    "allreduce_swing",
+    "alltoall",
+)
+
+
+def available_collectives() -> tuple[str, ...]:
+    """Sorted names of all registered collective algorithms."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_collective(name: str, n: int, message_size: float, **kwargs) -> Collective:
+    """Instantiate a registered collective by name.
+
+    Extra keyword arguments (e.g. ``root`` for rooted collectives) are
+    forwarded to the factory.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise CollectiveError(
+            f"unknown collective {name!r}; available: {available_collectives()}"
+        )
+    return factory(n, message_size, **kwargs)

@@ -1,0 +1,303 @@
+"""Block-level semantic verification of collective algorithms.
+
+The paper's framework treats a collective as a trusted sequence of
+matchings; this module removes the trust.  Every algorithm in
+:mod:`repro.collectives` emits block-level transfers, and the trackers
+here execute them under barrier semantics (all sends in a step read the
+state at step entry) to prove the collective's postcondition:
+
+* :class:`ReductionTracker` — counts, per (rank, chunk), how many times
+  each rank's contribution has been folded in.  An AllReduce is correct
+  iff every count ends at exactly 1 (missing contribution = wrong sum,
+  count 2 = double-reduction, also a wrong sum).
+* :class:`PossessionTracker` — tracks which ranks hold which chunks for
+  pure data-movement collectives (allgather, all-to-all, broadcast...).
+
+:func:`verify_collective` dispatches on the collective's ``kind`` and
+raises :class:`~repro.exceptions.SemanticsError` with a precise message
+on any violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SemanticsError
+from .base import Collective, Step, Transfer, TransferKind
+
+__all__ = [
+    "ReductionTracker",
+    "PossessionTracker",
+    "SemanticsReport",
+    "verify_collective",
+]
+
+
+class ReductionTracker:
+    """Contribution-count state machine for reduction collectives.
+
+    ``state[j, c, i]`` counts how many times rank ``i``'s contribution
+    to chunk ``c`` is included in rank ``j``'s buffer.  Initially the
+    identity: every rank holds exactly its own contribution to every
+    chunk.
+    """
+
+    def __init__(self, n: int, n_chunks: int):
+        self.n = int(n)
+        self.n_chunks = int(n_chunks)
+        self.state = np.zeros((n, n_chunks, n), dtype=np.int64)
+        self.state[np.arange(n), :, np.arange(n)] = 1
+
+    def apply_step(self, step: Step) -> None:
+        """Execute all transfers of one step under barrier semantics."""
+        if step.transfers is None:
+            raise SemanticsError(f"step {step.label!r} has no block-level transfers")
+        snapshot = self.state.copy()
+        overwritten: set[tuple[int, int]] = set()
+        for transfer in step.transfers:
+            chunks = list(transfer.chunks)
+            if max(chunks) >= self.n_chunks or min(chunks) < 0:
+                raise SemanticsError(
+                    f"chunk id out of range in transfer {transfer}"
+                )
+            if transfer.kind is TransferKind.REDUCE:
+                self.state[transfer.dst, chunks, :] += snapshot[transfer.src, chunks, :]
+            else:
+                for chunk in chunks:
+                    key = (transfer.dst, chunk)
+                    if key in overwritten:
+                        raise SemanticsError(
+                            f"rank {transfer.dst} receives chunk {chunk} from "
+                            f"two senders in step {step.label!r}"
+                        )
+                    overwritten.add(key)
+                    self.state[transfer.dst, chunk, :] = snapshot[
+                        transfer.src, chunk, :
+                    ]
+
+    def assert_fully_reduced_everywhere(self) -> None:
+        """AllReduce postcondition: every rank holds every chunk with
+        every contribution folded in exactly once."""
+        if not (self.state == 1).all():
+            bad = np.argwhere(self.state != 1)[0]
+            j, c, i = (int(x) for x in bad)
+            raise SemanticsError(
+                f"rank {j} chunk {c}: contribution of rank {i} appears "
+                f"{int(self.state[j, c, i])} times (expected 1)"
+            )
+
+    def assert_reduce_scattered(self, owner_of_chunk: dict[int, int]) -> None:
+        """ReduceScatter postcondition: the owner of each chunk holds it
+        fully reduced, each contribution exactly once."""
+        for chunk, owner in owner_of_chunk.items():
+            vector = self.state[owner, chunk, :]
+            if not (vector == 1).all():
+                raise SemanticsError(
+                    f"owner {owner} of chunk {chunk} has contribution counts "
+                    f"{vector.tolist()} (expected all 1)"
+                )
+
+
+class PossessionTracker:
+    """Chunk-possession state machine for data-movement collectives.
+
+    ``state[j, c]`` is 1 when rank ``j`` holds chunk ``c``.  Transfers
+    must send chunks the sender holds (at step entry); in strict mode a
+    rank may not receive a chunk it already holds (redundant traffic is
+    treated as an algorithm bug).
+    """
+
+    def __init__(self, n: int, n_chunks: int, strict: bool = True):
+        self.n = int(n)
+        self.n_chunks = int(n_chunks)
+        self.strict = bool(strict)
+        self.state = np.zeros((n, n_chunks), dtype=np.int64)
+
+    def grant(self, rank: int, chunks) -> None:
+        """Seed initial possession."""
+        self.state[rank, list(chunks)] = 1
+
+    def apply_step(self, step: Step) -> None:
+        """Execute all transfers of one step under barrier semantics."""
+        if step.transfers is None:
+            raise SemanticsError(f"step {step.label!r} has no block-level transfers")
+        snapshot = self.state.copy()
+        for transfer in step.transfers:
+            if transfer.kind is not TransferKind.OVERWRITE:
+                raise SemanticsError(
+                    "possession collectives only move data; got a REDUCE "
+                    f"transfer in step {step.label!r}"
+                )
+            for chunk in transfer.chunks:
+                if chunk >= self.n_chunks or chunk < 0:
+                    raise SemanticsError(f"chunk id {chunk} out of range")
+                if snapshot[transfer.src, chunk] == 0:
+                    raise SemanticsError(
+                        f"rank {transfer.src} sends chunk {chunk} it does not "
+                        f"hold in step {step.label!r}"
+                    )
+                if self.strict and snapshot[transfer.dst, chunk] >= 1:
+                    raise SemanticsError(
+                        f"rank {transfer.dst} redundantly receives chunk "
+                        f"{chunk} in step {step.label!r}"
+                    )
+                self.state[transfer.dst, chunk] = 1
+
+    def assert_possesses(self, rank: int, chunks) -> None:
+        """Postcondition helper: ``rank`` holds every chunk in ``chunks``."""
+        for chunk in chunks:
+            if self.state[rank, chunk] == 0:
+                raise SemanticsError(f"rank {rank} is missing chunk {chunk}")
+
+
+@dataclass(frozen=True)
+class SemanticsReport:
+    """Successful verification summary."""
+
+    collective: str
+    kind: str
+    n: int
+    steps_executed: int
+    chunks_tracked: int
+
+
+def _verify_allreduce(collective: Collective) -> None:
+    tracker = ReductionTracker(collective.n, collective.n_chunks)
+    for step in collective.steps:
+        tracker.apply_step(step)
+    tracker.assert_fully_reduced_everywhere()
+
+
+def _verify_reduce_scatter(collective: Collective) -> None:
+    owner_of_chunk = collective.metadata.get("owner_of_chunk")
+    if not isinstance(owner_of_chunk, dict):
+        raise SemanticsError(
+            "reduce_scatter collectives must record 'owner_of_chunk' metadata"
+        )
+    tracker = ReductionTracker(collective.n, collective.n_chunks)
+    for step in collective.steps:
+        tracker.apply_step(step)
+    tracker.assert_reduce_scattered(owner_of_chunk)
+
+
+def _verify_allgather(collective: Collective) -> None:
+    tracker = PossessionTracker(collective.n, collective.n_chunks)
+    for rank in range(collective.n):
+        tracker.grant(rank, [rank])
+    for step in collective.steps:
+        tracker.apply_step(step)
+    for rank in range(collective.n):
+        tracker.assert_possesses(rank, range(collective.n_chunks))
+
+
+def _verify_alltoall(collective: Collective) -> None:
+    n = collective.n
+    tracker = PossessionTracker(n, collective.n_chunks)
+    for src in range(n):
+        tracker.grant(src, [src * n + dst for dst in range(n)])
+    for step in collective.steps:
+        tracker.apply_step(step)
+    for dst in range(n):
+        tracker.assert_possesses(
+            dst, [src * n + dst for src in range(n) if src != dst]
+        )
+
+
+def _verify_broadcast(collective: Collective) -> None:
+    root = int(collective.metadata.get("root", 0))
+    tracker = PossessionTracker(collective.n, collective.n_chunks)
+    tracker.grant(root, range(collective.n_chunks))
+    for step in collective.steps:
+        tracker.apply_step(step)
+    for rank in range(collective.n):
+        tracker.assert_possesses(rank, range(collective.n_chunks))
+
+
+def _verify_scatter(collective: Collective) -> None:
+    root = int(collective.metadata.get("root", 0))
+    tracker = PossessionTracker(collective.n, collective.n_chunks)
+    tracker.grant(root, range(collective.n_chunks))
+    for step in collective.steps:
+        tracker.apply_step(step)
+    for rank in range(collective.n):
+        tracker.assert_possesses(rank, [rank])
+
+
+def _verify_gather(collective: Collective) -> None:
+    root = int(collective.metadata.get("root", 0))
+    tracker = PossessionTracker(collective.n, collective.n_chunks)
+    for rank in range(collective.n):
+        tracker.grant(rank, [rank])
+    for step in collective.steps:
+        tracker.apply_step(step)
+    tracker.assert_possesses(root, range(collective.n_chunks))
+
+
+def _verify_barrier(collective: Collective) -> None:
+    # A barrier moves no payload; correctness is the dissemination
+    # property: information from every rank reaches every rank.
+    n = collective.n
+    reached = np.eye(n, dtype=bool)
+    for step in collective.steps:
+        snapshot = reached.copy()
+        for src, dst in step.matching:
+            reached[dst] |= snapshot[src]
+    if not reached.all():
+        raise SemanticsError("barrier does not disseminate to all ranks")
+
+
+def _verify_sequence(collective: Collective) -> None:
+    parts = collective.metadata.get("parts", ())
+    for part in parts:
+        verify_collective(part)
+
+
+def _verify_embedded(collective: Collective) -> None:
+    inner = collective.metadata.get("inner")
+    if not isinstance(inner, Collective):
+        raise SemanticsError("embedded collective lost its inner collective")
+    verify_collective(inner)
+
+
+_VERIFIERS = {
+    "allreduce": _verify_allreduce,
+    "reduce_scatter": _verify_reduce_scatter,
+    "allgather": _verify_allgather,
+    "alltoall": _verify_alltoall,
+    "broadcast": _verify_broadcast,
+    "scatter": _verify_scatter,
+    "gather": _verify_gather,
+    "barrier": _verify_barrier,
+    "sequence": _verify_sequence,
+    "embedded": _verify_embedded,
+}
+
+
+def verify_collective(collective: Collective) -> SemanticsReport:
+    """Machine-check a collective's postcondition from its transfers.
+
+    Raises :class:`SemanticsError` on the first violation; returns a
+    :class:`SemanticsReport` on success.
+    """
+    verifier = _VERIFIERS.get(collective.kind)
+    if verifier is None:
+        raise SemanticsError(
+            f"no semantics verifier for collective kind {collective.kind!r}"
+        )
+    if (
+        collective.kind not in ("sequence", "barrier", "embedded")
+        and not collective.has_block_semantics()
+    ):
+        raise SemanticsError(
+            f"collective {collective.name!r} lacks block-level transfers"
+        )
+    verifier(collective)
+    return SemanticsReport(
+        collective=collective.name,
+        kind=collective.kind,
+        n=collective.n,
+        steps_executed=collective.num_steps,
+        chunks_tracked=collective.n_chunks,
+    )

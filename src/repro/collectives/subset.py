@@ -1,0 +1,95 @@
+"""Collectives over a subset of a scale-up domain (paper §3.1).
+
+"A subset of GPUs can also be considered, and the interconnect simply
+reconfigures (if required) only the involved ports."  This module
+embeds a collective built for ``k`` ranks onto ``k`` chosen ports of a
+larger ``n``-rank domain: every step becomes a partial matching over
+the big domain, so matched-topology reconfigurations touch only the
+participating ports (which the per-port fabric delay models then price
+accordingly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import CollectiveError
+from ..matching import Matching
+from .base import Collective, Step, Transfer
+
+__all__ = ["embed_collective"]
+
+
+def embed_collective(
+    collective: Collective,
+    ranks: Sequence[int],
+    domain_size: int,
+) -> Collective:
+    """Embed ``collective`` onto ``ranks`` within an ``n``-rank domain.
+
+    Parameters
+    ----------
+    collective:
+        A collective over ``k = len(ranks)`` ranks.
+    ranks:
+        The participating physical ranks, in the order that maps
+        logical rank ``i`` to ``ranks[i]``.  Must be distinct.
+    domain_size:
+        Total ranks ``n`` of the physical domain (``n >= k``).
+
+    Returns
+    -------
+    Collective
+        Kind ``"embedded"``; block-level semantics are preserved (the
+        inner collective is retained in metadata and verified in its
+        logical rank space).
+    """
+    ranks = [int(r) for r in ranks]
+    if len(set(ranks)) != len(ranks):
+        raise CollectiveError(f"duplicate ranks in embedding: {ranks}")
+    if len(ranks) != collective.n:
+        raise CollectiveError(
+            f"collective is over {collective.n} ranks but {len(ranks)} "
+            "embedding ranks were given"
+        )
+    n = int(domain_size)
+    if n < len(ranks):
+        raise CollectiveError(
+            f"domain size {n} is smaller than the subset ({len(ranks)} ranks)"
+        )
+    if any(not 0 <= r < n for r in ranks):
+        raise CollectiveError(f"embedding ranks out of range for n={n}")
+
+    steps = []
+    for step in collective.steps:
+        matching = Matching(
+            n, [(ranks[src], ranks[dst]) for src, dst in step.matching]
+        )
+        transfers = None
+        if step.transfers is not None:
+            transfers = [
+                Transfer(ranks[t.src], ranks[t.dst], t.chunks, t.kind)
+                for t in step.transfers
+            ]
+        steps.append(
+            Step(
+                matching=matching,
+                volume=step.volume,
+                transfers=transfers,
+                compute_time=step.compute_time,
+                label=step.label,
+            )
+        )
+    return Collective(
+        name=f"{collective.name}@subset{len(ranks)}/{n}",
+        kind="embedded",
+        n=n,
+        message_size=collective.message_size,
+        steps=steps,
+        chunk_size=collective.chunk_size,
+        n_chunks=collective.n_chunks,
+        metadata={
+            "inner": collective,
+            "rank_map": tuple(ranks),
+        },
+    )

@@ -1,0 +1,54 @@
+"""The paper's core contribution: the alpha-beta-theta cost model and
+reconfiguration-aware schedule optimization (paper §3)."""
+
+from .baselines import best_of_both_cost, bvn_cost, static_cost
+from .cost_model import CostParameters, StepCost, evaluate_step_costs
+from .heuristics import greedy_sequential_schedule, threshold_schedule
+from .optimizer_dp import OptimizationResult, optimize_schedule
+from .optimizer_ilp import optimize_schedule_ilp
+from .multiport import (
+    MultiPortStep,
+    MultiPortStepCost,
+    evaluate_multiport_step_costs,
+    multiport_alltoall,
+)
+from .optimizer_pool import PoolDecision, PoolScheduleResult, optimize_pool_schedule
+from .overlap import evaluate_schedule_with_overlap, optimize_with_overlap
+from .schedule import Decision, Schedule, ScheduleCost, evaluate_schedule
+from .tradeoff import (
+    RegimeReport,
+    classify_regime,
+    crossover_to_static,
+    static_bvn_breakeven,
+)
+
+__all__ = [
+    "CostParameters",
+    "StepCost",
+    "evaluate_step_costs",
+    "Decision",
+    "Schedule",
+    "ScheduleCost",
+    "evaluate_schedule",
+    "static_cost",
+    "bvn_cost",
+    "best_of_both_cost",
+    "OptimizationResult",
+    "optimize_schedule",
+    "optimize_schedule_ilp",
+    "optimize_pool_schedule",
+    "PoolDecision",
+    "PoolScheduleResult",
+    "threshold_schedule",
+    "greedy_sequential_schedule",
+    "MultiPortStep",
+    "MultiPortStepCost",
+    "multiport_alltoall",
+    "evaluate_multiport_step_costs",
+    "evaluate_schedule_with_overlap",
+    "optimize_with_overlap",
+    "RegimeReport",
+    "classify_regime",
+    "static_bvn_breakeven",
+    "crossover_to_static",
+]

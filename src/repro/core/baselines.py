@@ -1,0 +1,46 @@
+"""The two pure strategies the paper compares against (§3.4).
+
+* **Static** — never reconfigure; pay congestion and propagation on the
+  base topology every step.
+* **BvN / always-reconfigure** — reconfigure to the matched topology
+  before every step; pay ``alpha_r`` each step, then run congestion-free
+  (this is what "a reconfigurable interconnect that follows BvN
+  schedules matched to the communication pattern" does, since by
+  Observation 1 the collective's own steps form the BvN decomposition).
+
+``best_of_both`` is the per-configuration min used for Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .cost_model import CostParameters, StepCost
+from .schedule import Schedule, ScheduleCost, evaluate_schedule
+
+__all__ = ["static_cost", "bvn_cost", "best_of_both_cost"]
+
+
+def static_cost(
+    step_costs: Sequence[StepCost], params: CostParameters
+) -> ScheduleCost:
+    """Cost of keeping the base topology for the whole collective."""
+    return evaluate_schedule(
+        step_costs, Schedule.static(len(step_costs)), params
+    )
+
+
+def bvn_cost(step_costs: Sequence[StepCost], params: CostParameters) -> ScheduleCost:
+    """Cost of reconfiguring for every step (the naive BvN schedule)."""
+    return evaluate_schedule(
+        step_costs, Schedule.always_reconfigure(len(step_costs)), params
+    )
+
+
+def best_of_both_cost(
+    step_costs: Sequence[StepCost], params: CostParameters
+) -> ScheduleCost:
+    """The better of the two pure strategies (Figure 2's comparator)."""
+    static = static_cost(step_costs, params)
+    bvn = bvn_cost(step_costs, params)
+    return static if static.total <= bvn.total else bvn

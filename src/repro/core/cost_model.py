@@ -1,0 +1,154 @@
+"""The alpha-beta-theta cost model (paper §3.2, Eq. 3 and Eq. 4).
+
+The demand completion time of collective step ``i`` on topology ``G`` is
+
+    DCT(m_i * M_i) = alpha + delta * l_i + beta * m_i / theta(G, M_i)
+
+with ``alpha`` the fixed per-step latency, ``delta`` the per-hop
+propagation delay, ``l_i`` the step's path length, ``beta = 1/b`` the
+inverse transceiver bandwidth, and ``theta`` the maximum concurrent
+flow.  When the fabric reconfigures to match ``M_i``, path length and
+congestion collapse to 1:
+
+    DCT_matched(m_i * M_i) = alpha + delta + beta * m_i.
+
+:func:`evaluate_step_costs` computes the per-step ``(m_i, theta_i,
+l_i)`` triples for a collective on a base topology — everything the
+optimizers need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_non_negative, require_positive
+from ..collectives.base import Collective
+from ..exceptions import ScheduleError
+from ..flows import PathLengthRule, ThroughputCache, compute_theta, default_cache, path_length
+from ..topology.base import Topology
+
+__all__ = ["CostParameters", "StepCost", "evaluate_step_costs"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Scalar parameters of the cost model.
+
+    Attributes
+    ----------
+    alpha:
+        Fixed per-step startup latency in seconds (paper's ``alpha``).
+    bandwidth:
+        Transceiver bandwidth ``b`` in bits/second; ``beta = 1/b``.
+    delta:
+        Per-hop propagation delay in seconds.
+    reconfiguration_delay:
+        The fabric reconfiguration delay ``alpha_r`` in seconds.
+    """
+
+    alpha: float
+    bandwidth: float
+    delta: float
+    reconfiguration_delay: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.alpha, "alpha", ScheduleError)
+        require_positive(self.bandwidth, "bandwidth", ScheduleError)
+        require_non_negative(self.delta, "delta", ScheduleError)
+        require_non_negative(
+            self.reconfiguration_delay, "reconfiguration_delay", ScheduleError
+        )
+
+    @property
+    def beta(self) -> float:
+        """Inverse bandwidth, seconds per bit."""
+        return 1.0 / self.bandwidth
+
+    def with_reconfiguration_delay(self, alpha_r: float) -> "CostParameters":
+        """A copy with a different ``alpha_r`` (sweep helper)."""
+        return CostParameters(
+            alpha=self.alpha,
+            bandwidth=self.bandwidth,
+            delta=self.delta,
+            reconfiguration_delay=alpha_r,
+        )
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """The topology-dependent facts about one step.
+
+    Attributes
+    ----------
+    volume:
+        Per-pair data volume ``m_i`` in bits.
+    theta:
+        Maximum concurrent flow of the step's pattern on the *base*
+        topology (``inf`` for an empty pattern, ``0.0`` if some pair is
+        disconnected — the base topology then cannot serve this step).
+    hops:
+        Path-length term ``l_i`` on the base topology.
+    label:
+        Step label, carried through for reporting.
+    """
+
+    volume: float
+    theta: float
+    hops: float
+    label: str = ""
+
+    def base_cost(self, params: CostParameters) -> float:
+        """DCT of this step when staying on the base topology (Eq. 3)."""
+        if self.theta == 0.0:
+            return math.inf
+        congestion = 0.0 if self.volume == 0.0 else params.beta * self.volume / self.theta
+        return params.alpha + params.delta * self.hops + congestion
+
+    def matched_cost(self, params: CostParameters) -> float:
+        """DCT of this step on its matched topology: ``l = 1``,
+        ``theta = 1`` by construction (paper §3.3)."""
+        return params.alpha + params.delta + params.beta * self.volume
+
+
+def evaluate_step_costs(
+    collective: Collective,
+    topology: Topology,
+    params: CostParameters,
+    theta_method: str = "auto",
+    path_rule: PathLengthRule = PathLengthRule.MAX_PAIR_HOPS,
+    cache: ThroughputCache | None = default_cache,
+) -> tuple[StepCost, ...]:
+    """Evaluate ``(m_i, theta_i, l_i)`` for every step of a collective.
+
+    ``theta`` is normalized by ``params.bandwidth`` so that a dedicated
+    full-rate circuit per pair scores exactly 1.
+    """
+    if collective.n != topology.n_ranks:
+        raise ScheduleError(
+            f"collective n={collective.n} does not match topology "
+            f"n_ranks={topology.n_ranks}"
+        )
+    costs = []
+    for step in collective.steps:
+        if len(step.matching) == 0:
+            costs.append(
+                StepCost(volume=step.volume, theta=math.inf, hops=0.0, label=step.label)
+            )
+            continue
+        if not topology.supports(step.matching):
+            theta = 0.0
+            hops = math.inf
+        else:
+            theta = compute_theta(
+                topology,
+                step.matching,
+                reference_rate=params.bandwidth,
+                method=theta_method,
+                cache=cache,
+            )
+            hops = path_length(topology, step.matching, rule=path_rule)
+        costs.append(
+            StepCost(volume=step.volume, theta=theta, hops=hops, label=step.label)
+        )
+    return tuple(costs)

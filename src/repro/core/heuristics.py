@@ -1,0 +1,71 @@
+"""Fast scheduling heuristics (research agenda: "fast heuristics").
+
+The DP is already ``O(s)``, but it needs all ``theta_i`` up front; these
+heuristics are the kind of threshold rules the paper envisions running
+*online*, deciding each step from local information only:
+
+* :func:`threshold_schedule` — reconfigure whenever the step's
+  congestion + propagation saving exceeds ``alpha_r``, each step judged
+  in isolation.
+* :func:`greedy_sequential_schedule` — same rule but carrying the
+  previous configuration, so leaving a matched step back to base is
+  priced correctly.
+
+Both produce feasible schedules, hence upper bounds on the optimum; the
+ablation bench measures their gap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .cost_model import CostParameters, StepCost
+from .schedule import Decision, Schedule
+
+__all__ = ["threshold_schedule", "greedy_sequential_schedule"]
+
+
+def threshold_schedule(
+    step_costs: Sequence[StepCost],
+    params: CostParameters,
+) -> Schedule:
+    """Myopic per-step rule: match iff the step saving exceeds ``alpha_r``.
+
+    The saving of reconfiguring step ``i`` in isolation is
+
+        delta * (l_i - 1) + beta * m_i * (1/theta_i - 1) - alpha_r.
+    """
+    decisions = []
+    for cost in step_costs:
+        saving = cost.base_cost(params) - cost.matched_cost(params)
+        decisions.append(
+            Decision.MATCHED
+            if saving > params.reconfiguration_delay
+            else Decision.BASE
+        )
+    return Schedule(tuple(decisions))
+
+
+def greedy_sequential_schedule(
+    step_costs: Sequence[StepCost],
+    params: CostParameters,
+) -> Schedule:
+    """One-pass greedy that tracks the current configuration.
+
+    At each step it compares ``base_cost + (alpha_r if currently
+    matched)`` against ``matched_cost + alpha_r`` and takes the cheaper,
+    ignoring all future steps.
+    """
+    alpha_r = params.reconfiguration_delay
+    decisions = []
+    currently_matched = False
+    for cost in step_costs:
+        stay_base = cost.base_cost(params) + (alpha_r if currently_matched else 0.0)
+        go_matched = cost.matched_cost(params) + alpha_r
+        if go_matched < stay_base:
+            decisions.append(Decision.MATCHED)
+            currently_matched = True
+        else:
+            decisions.append(Decision.BASE)
+            currently_matched = False
+    return Schedule(tuple(decisions))

@@ -1,0 +1,239 @@
+"""Multi-ported collective steps (paper §4 outlook).
+
+The paper's closing agenda includes "extending our model to multi-ported
+collectives where each step is not a single permutation but a union of
+multiple permutations".  This module provides that extension for
+workloads whose steps are data-independent (All-to-All: any grouping of
+its shift steps is a valid schedule because block (j, k) never relays
+through a third rank):
+
+* :class:`MultiPortStep` — a union of pairwise-disjoint matchings
+  executed concurrently, one per port;
+* :func:`multiport_alltoall` — the ``ceil((n-1)/p)``-step All-to-All
+  over ``p`` ports;
+* :class:`MultiPortStepCost` — the per-step cost facts.  It exposes the
+  same ``base_cost`` / ``matched_cost`` protocol as
+  :class:`~repro.core.cost_model.StepCost`, so the *unmodified* Eq. 7
+  optimizers (:func:`~repro.core.optimize_schedule`,
+  :func:`~repro.core.optimizer_ilp.optimize_schedule_ilp`) solve the
+  multi-ported problem as well.
+
+Bandwidth model: each GPU's aggregate transceiver bandwidth ``b`` is
+split over its ``p`` ports, so a matched configuration gives every pair
+a dedicated ``b/p`` circuit — the matched step time is
+``alpha + delta + beta * m * p`` for per-pair volume ``m``.  Theta for
+the base topology is computed on the union demand (all ``p``
+permutations concurrently), normalized so that the matched
+configuration scores exactly 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from .._validation import require_node_count, require_non_negative
+from ..exceptions import CollectiveError, ScheduleError
+from ..flows import (
+    Commodity,
+    ThroughputCache,
+    default_cache,
+    max_concurrent_flow,
+)
+from ..matching import Matching
+from ..topology.base import Topology
+from .cost_model import CostParameters
+
+__all__ = [
+    "MultiPortStep",
+    "MultiPortStepCost",
+    "multiport_alltoall",
+    "evaluate_multiport_step_costs",
+]
+
+
+@dataclass(frozen=True)
+class MultiPortStep:
+    """One barrier-synchronized step using up to ``p`` ports per GPU.
+
+    ``matchings`` must be pairwise edge-disjoint; their union is the
+    step's demand matrix (a sum of permutation matrices, out-degree up
+    to ``len(matchings)`` per rank).
+    """
+
+    matchings: tuple[Matching, ...]
+    volume: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.matchings:
+            raise CollectiveError("a multi-port step needs at least one matching")
+        n = self.matchings[0].n
+        seen: set[tuple[int, int]] = set()
+        for matching in self.matchings:
+            if matching.n != n:
+                raise CollectiveError("matchings must share the same rank count")
+            for pair in matching.pairs:
+                if pair in seen:
+                    raise CollectiveError(
+                        f"pair {pair} appears in two port matchings of one step"
+                    )
+                seen.add(pair)
+        require_non_negative(self.volume, "volume", CollectiveError)
+
+    @property
+    def n(self) -> int:
+        """Rank count of the domain."""
+        return self.matchings[0].n
+
+    @property
+    def ports_used(self) -> int:
+        """Number of permutations unioned in this step."""
+        return len(self.matchings)
+
+    def commodities(self) -> tuple[Commodity, ...]:
+        """Unit-demand commodities for the union pattern."""
+        return tuple(
+            Commodity(src, dst, 1.0)
+            for matching in self.matchings
+            for src, dst in matching
+        )
+
+
+@dataclass(frozen=True)
+class MultiPortStepCost:
+    """Cost facts for one multi-ported step.
+
+    Satisfies the same protocol as
+    :class:`~repro.core.cost_model.StepCost`; ``theta`` is normalized to
+    the *per-port* rate ``b / ports`` so a matched configuration scores
+    exactly 1 and the familiar ``1/theta`` congestion factor carries
+    over unchanged.
+    """
+
+    volume: float
+    theta: float
+    hops: float
+    ports: int
+    label: str = ""
+
+    def base_cost(self, params: CostParameters) -> float:
+        """DCT on the base topology (Eq. 3 with union demand)."""
+        if self.theta == 0.0:
+            return math.inf
+        if self.volume == 0.0:
+            return params.alpha + params.delta * self.hops
+        per_port_beta = params.beta * self.ports
+        return (
+            params.alpha
+            + params.delta * self.hops
+            + per_port_beta * self.volume / self.theta
+        )
+
+    def matched_cost(self, params: CostParameters) -> float:
+        """DCT on the matched union topology: one hop, theta = 1, each
+        pair on a dedicated ``b/ports`` circuit."""
+        return params.alpha + params.delta + params.beta * self.volume * self.ports
+
+
+def multiport_alltoall(
+    n: int, message_size: float, ports: int
+) -> tuple[MultiPortStep, ...]:
+    """All-to-All as ``ceil((n-1)/ports)`` multi-ported steps.
+
+    Step ``t`` unions the shift permutations
+    ``k = t*ports+1 .. min((t+1)*ports, n-1)``.  Grouping is valid for
+    All-to-All because its blocks travel source-to-destination directly,
+    so shift steps carry no data dependencies.
+    """
+    n = require_node_count(n, CollectiveError)
+    require_non_negative(message_size, "message_size", CollectiveError)
+    ports = int(ports)
+    if ports < 1:
+        raise CollectiveError(f"ports must be >= 1, got {ports}")
+    block = message_size / n
+    steps = []
+    shifts = list(range(1, n))
+    for start in range(0, len(shifts), ports):
+        group = shifts[start : start + ports]
+        steps.append(
+            MultiPortStep(
+                matchings=tuple(Matching.shift(n, k) for k in group),
+                volume=block,
+                label=f"shifts {group[0]}..{group[-1]}",
+            )
+        )
+    return tuple(steps)
+
+
+def evaluate_multiport_step_costs(
+    steps: Sequence[MultiPortStep],
+    topology: Topology,
+    params: CostParameters,
+    ports: int,
+    cache: ThroughputCache | None = default_cache,
+) -> tuple[MultiPortStepCost, ...]:
+    """Evaluate theta and path lengths for multi-ported steps.
+
+    ``theta`` is the maximum concurrent flow of the union demand on
+    ``topology`` with capacities normalized by the per-port rate
+    ``params.bandwidth / ports``.
+    """
+    if not steps:
+        raise ScheduleError("at least one step is required")
+    ports = int(ports)
+    if ports < 1:
+        raise ScheduleError(f"ports must be >= 1, got {ports}")
+    per_port_rate = params.bandwidth / ports
+    costs = []
+    for step in steps:
+        if step.n != topology.n_ranks:
+            raise ScheduleError("step and topology rank counts differ")
+        if step.ports_used > ports:
+            raise ScheduleError(
+                f"step {step.label!r} uses {step.ports_used} ports, "
+                f"budget is {ports}"
+            )
+        pairs = [
+            (src, dst) for matching in step.matchings for src, dst in matching
+        ]
+        if not all(topology.has_path(src, dst) for src, dst in pairs):
+            costs.append(
+                MultiPortStepCost(
+                    volume=step.volume,
+                    theta=0.0,
+                    hops=math.inf,
+                    ports=ports,
+                    label=step.label,
+                )
+            )
+            continue
+
+        def compute(step=step):
+            return max_concurrent_flow(
+                topology, step.commodities(), per_port_rate
+            ).theta
+
+        if cache is None or step.ports_used > 1:
+            # The shared cache keys on single matchings; unions are
+            # evaluated directly (they are few: s/p per collective).
+            theta = compute()
+        else:
+            theta = cache.get_or_compute(
+                topology,
+                step.matchings[0],
+                compute,
+                tag=f"theta-multiport:{ports}",
+            )
+        hops = max(topology.hop_distance(src, dst) for src, dst in pairs)
+        costs.append(
+            MultiPortStepCost(
+                volume=step.volume,
+                theta=theta,
+                hops=float(hops),
+                ports=ports,
+                label=step.label,
+            )
+        )
+    return tuple(costs)

@@ -1,0 +1,218 @@
+"""Generalized DP over a pool of standing configurations (paper §3.3).
+
+The paper notes its formulation "can be extended to account for a fixed
+pool of base topologies instead of a single base topology G (e.g.
+multiple co-prime rings)".  This optimizer implements that extension —
+and two further refinements the 2-state model cannot express:
+
+* transitions between *any* pair of configurations are priced by a
+  :class:`~repro.fabric.reconfiguration.ReconfigurationModel`, so
+  port-count-dependent delays (research agenda) are honoured;
+* consecutive matched steps with the *same* pattern reuse the standing
+  circuits for free (the Eq. 7 accounting conservatively charges
+  ``alpha_r`` there).
+
+States per step: one per pool topology, plus "matched to this step's
+pattern".  The DP is ``O(s * (P+1)^2)`` for ``P`` pool topologies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..collectives.base import Collective
+from ..exceptions import ScheduleError
+from ..fabric.reconfiguration import (
+    Configuration,
+    ConstantReconfigurationDelay,
+    ReconfigurationModel,
+    configuration_from_matching,
+    configuration_from_topology,
+)
+from ..flows import PathLengthRule, ThroughputCache, default_cache
+from ..topology.base import Topology
+from .cost_model import CostParameters, StepCost, evaluate_step_costs
+
+__all__ = ["PoolDecision", "PoolScheduleResult", "optimize_pool_schedule"]
+
+
+@dataclass(frozen=True)
+class PoolDecision:
+    """One step's choice: a pool topology index, or matched (-1)."""
+
+    index: int
+
+    MATCHED = -1
+
+    @property
+    def is_matched(self) -> bool:
+        """Whether this step reconfigures to its own pattern."""
+        return self.index == self.MATCHED
+
+
+@dataclass(frozen=True)
+class PoolScheduleResult:
+    """Outcome of the pool DP."""
+
+    decisions: tuple[PoolDecision, ...]
+    total: float
+    reconfiguration_time: float
+    n_reconfigurations: int
+    per_step: tuple[float, ...]
+
+
+def _configuration_of(topology: Topology) -> Configuration | None:
+    """Topology as a circuit set, or ``None`` when it has relay nodes
+    (then only conservative full-fabric delays can be charged)."""
+    if topology.relay_nodes:
+        return None
+    return configuration_from_topology(topology)
+
+
+def optimize_pool_schedule(
+    collective: Collective,
+    pool: Sequence[Topology],
+    params: CostParameters,
+    reconfiguration_model: ReconfigurationModel | None = None,
+    theta_method: str = "auto",
+    path_rule: PathLengthRule = PathLengthRule.MAX_PAIR_HOPS,
+    cache: ThroughputCache | None = default_cache,
+    initial_pool_index: int = 0,
+) -> PoolScheduleResult:
+    """Optimize circuit switching over a configuration pool.
+
+    Parameters
+    ----------
+    collective:
+        The workload.
+    pool:
+        Standing base topologies available to the fabric.  The fabric
+        starts on ``pool[initial_pool_index]``.
+    params:
+        Cost model scalars.  ``params.reconfiguration_delay`` is used
+        only when ``reconfiguration_model`` is omitted.
+    reconfiguration_model:
+        Prices every configuration transition; defaults to the paper's
+        constant model.
+    """
+    if not pool:
+        raise ScheduleError("the configuration pool must not be empty")
+    if not 0 <= initial_pool_index < len(pool):
+        raise ScheduleError(
+            f"initial_pool_index {initial_pool_index} out of range"
+        )
+    model = reconfiguration_model or ConstantReconfigurationDelay(
+        params.reconfiguration_delay
+    )
+
+    # Per-pool-topology step facts.
+    pool_costs: list[tuple[StepCost, ...]] = [
+        evaluate_step_costs(
+            collective,
+            topology,
+            params,
+            theta_method=theta_method,
+            path_rule=path_rule,
+            cache=cache,
+        )
+        for topology in pool
+    ]
+    pool_configs = [_configuration_of(topology) for topology in pool]
+    full_fabric_ports = 2 * collective.n
+
+    def transition_delay(
+        prev_config: Configuration | None, next_config: Configuration | None
+    ) -> float:
+        if prev_config is None or next_config is None:
+            return model.delay_for_ports(full_fabric_ports)
+        return model.delay(prev_config, next_config)
+
+    steps = collective.steps
+    n_states = len(pool) + 1
+    matched_state = len(pool)
+
+    value = [math.inf] * n_states
+    value[initial_pool_index] = 0.0
+    parents: list[list[int]] = []
+    prev_matched_config: Configuration | None = None
+
+    for i, step in enumerate(steps):
+        matched_config = configuration_from_matching(step.matching)
+        step_value = [math.inf] * n_states
+        step_parent = [0] * n_states
+
+        def config_of_state(state: int) -> Configuration | None:
+            if state == matched_state:
+                return prev_matched_config
+            return pool_configs[state]
+
+        # into pool state p
+        for p in range(len(pool)):
+            base_step = pool_costs[p][i].base_cost(params)
+            for prev in range(n_states):
+                if math.isinf(value[prev]):
+                    continue
+                delay = transition_delay(config_of_state(prev), pool_configs[p])
+                candidate = value[prev] + delay + base_step
+                if candidate < step_value[p]:
+                    step_value[p] = candidate
+                    step_parent[p] = prev
+        # into matched state
+        matched_step = pool_costs[0][i].matched_cost(params)
+        for prev in range(n_states):
+            if math.isinf(value[prev]):
+                continue
+            delay = transition_delay(config_of_state(prev), matched_config)
+            candidate = value[prev] + delay + matched_step
+            if candidate < step_value[matched_state]:
+                step_value[matched_state] = candidate
+                step_parent[matched_state] = prev
+
+        parents.append(step_parent)
+        value = step_value
+        prev_matched_config = matched_config
+
+    final_state = min(range(n_states), key=lambda s: value[s])
+    total = value[final_state]
+    if math.isinf(total):
+        raise ScheduleError("no feasible pool schedule exists")
+
+    # Backtrack.
+    states = [final_state]
+    state = final_state
+    for i in range(len(steps) - 1, 0, -1):
+        state = parents[i][state]
+        states.append(state)
+    states.reverse()
+    decisions = tuple(
+        PoolDecision(PoolDecision.MATCHED if s == matched_state else s)
+        for s in states
+    )
+
+    # Re-walk to recover the reconfiguration accounting and per-step costs.
+    reconf_time = 0.0
+    n_reconf = 0
+    per_step: list[float] = []
+    current: Configuration | None = pool_configs[initial_pool_index]
+    for i, (step, decision) in enumerate(zip(steps, decisions)):
+        if decision.is_matched:
+            target = configuration_from_matching(step.matching)
+            step_cost = pool_costs[0][i].matched_cost(params)
+        else:
+            target = pool_configs[decision.index]
+            step_cost = pool_costs[decision.index][i].base_cost(params)
+        delay = transition_delay(current, target)
+        if delay > 0:
+            n_reconf += 1
+            reconf_time += delay
+        current = target
+        per_step.append(step_cost)
+    return PoolScheduleResult(
+        decisions=decisions,
+        total=total,
+        reconfiguration_time=reconf_time,
+        n_reconfigurations=n_reconf,
+        per_step=tuple(per_step),
+    )

@@ -1,0 +1,165 @@
+"""Circuit-switching schedules and their exact cost (paper Eq. 7).
+
+A schedule assigns every collective step a :class:`Decision`: stay on
+the base topology ``G`` (``x_i = 1`` in the paper) or reconfigure to the
+step's matched topology (``x_i = 0``).  :func:`evaluate_schedule`
+computes the objective of Eq. 7 *exactly*, including its
+reconfiguration accounting: starting from the base configuration
+(``x_0 = 1``), step ``i`` incurs ``alpha_r`` unless steps ``i-1`` and
+``i`` both use the base topology.
+
+Note the model's deliberate conservatism (kept paper-faithful here,
+relaxed by :mod:`repro.core.optimizer_pool`): two consecutive matched
+steps pay ``alpha_r`` even if they request the same permutation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..exceptions import ScheduleError
+from .cost_model import CostParameters, StepCost
+
+__all__ = ["Decision", "Schedule", "ScheduleCost", "evaluate_schedule"]
+
+
+class Decision(enum.Enum):
+    """Per-step interconnect choice (the paper's binary ``x_i``)."""
+
+    BASE = "base"  # x_i = 1
+    MATCHED = "matched"  # x_i = 0
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A per-step decision vector."""
+
+    decisions: tuple[Decision, ...]
+
+    def __post_init__(self) -> None:
+        if not self.decisions:
+            raise ScheduleError("a schedule needs at least one step")
+
+    @classmethod
+    def static(cls, n_steps: int) -> "Schedule":
+        """All steps on the base topology (the static baseline)."""
+        return cls(tuple([Decision.BASE] * n_steps))
+
+    @classmethod
+    def always_reconfigure(cls, n_steps: int) -> "Schedule":
+        """Reconfigure for every step (the naive BvN baseline)."""
+        return cls(tuple([Decision.MATCHED] * n_steps))
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "Schedule":
+        """Build from the paper's ``x_i`` encoding (1 = base)."""
+        return cls(
+            tuple(Decision.BASE if b else Decision.MATCHED for b in bits)
+        )
+
+    @property
+    def num_steps(self) -> int:
+        """Number of steps covered."""
+        return len(self.decisions)
+
+    @property
+    def num_matched_steps(self) -> int:
+        """How many steps reconfigure to their matched topology."""
+        return sum(1 for d in self.decisions if d is Decision.MATCHED)
+
+    def is_static(self) -> bool:
+        """True when no step reconfigures."""
+        return self.num_matched_steps == 0
+
+    def is_always_reconfigure(self) -> bool:
+        """True when every step reconfigures."""
+        return self.num_matched_steps == self.num_steps
+
+    def __str__(self) -> str:
+        return "".join("G" if d is Decision.BASE else "M" for d in self.decisions)
+
+
+@dataclass(frozen=True)
+class ScheduleCost:
+    """Exact cost breakdown of a schedule under Eq. 7.
+
+    All terms are seconds; ``total`` is their sum.
+    """
+
+    total: float
+    latency_term: float
+    propagation_term: float
+    bandwidth_term: float
+    reconfiguration_term: float
+    n_reconfigurations: int
+    per_step: tuple[float, ...]
+
+    def speedup_over(self, other: "ScheduleCost") -> float:
+        """``other.total / self.total`` — how much faster this schedule is."""
+        if self.total == 0:
+            return math.inf
+        return other.total / self.total
+
+
+def count_reconfigurations(decisions: Sequence[Decision]) -> int:
+    """Number of steps charged ``alpha_r`` under Eq. 7's accounting.
+
+    Step ``i`` (1-based, with a virtual base step 0) is charged unless
+    both ``i-1`` and ``i`` use the base topology.
+    """
+    count = 0
+    previous = Decision.BASE
+    for decision in decisions:
+        if not (previous is Decision.BASE and decision is Decision.BASE):
+            count += 1
+        previous = decision
+    return count
+
+
+def evaluate_schedule(
+    step_costs: Sequence[StepCost],
+    schedule: Schedule,
+    params: CostParameters,
+) -> ScheduleCost:
+    """Evaluate the Eq. 7 objective for a schedule.
+
+    Returns ``total = inf`` when the schedule keeps a step on a base
+    topology that cannot serve it (disconnected pair).
+    """
+    if len(step_costs) != schedule.num_steps:
+        raise ScheduleError(
+            f"schedule covers {schedule.num_steps} steps but "
+            f"{len(step_costs)} step costs were given"
+        )
+    latency = params.alpha * len(step_costs)
+    propagation = 0.0
+    bandwidth = 0.0
+    per_step = []
+    for cost, decision in zip(step_costs, schedule.decisions):
+        if decision is Decision.BASE:
+            step_total = cost.base_cost(params)
+            hops_used = cost.hops
+        else:
+            step_total = cost.matched_cost(params)
+            hops_used = 1.0
+        if math.isinf(step_total):
+            propagation = math.inf
+        else:
+            propagation += params.delta * hops_used
+            bandwidth += step_total - params.alpha - params.delta * hops_used
+        per_step.append(step_total)
+    n_reconf = count_reconfigurations(schedule.decisions)
+    reconfiguration = n_reconf * params.reconfiguration_delay
+    total = latency + propagation + bandwidth + reconfiguration
+    return ScheduleCost(
+        total=total,
+        latency_term=latency,
+        propagation_term=propagation,
+        bandwidth_term=bandwidth,
+        reconfiguration_term=reconfiguration,
+        n_reconfigurations=n_reconf,
+        per_step=tuple(per_step),
+    )

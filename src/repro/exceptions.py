@@ -1,0 +1,53 @@
+"""Exception hierarchy for :mod:`repro`.
+
+The library raises subclasses of :class:`ReproError` so that callers can
+catch everything produced here with a single except clause while tests
+can assert on precise failure kinds.  Invariant violations always raise;
+nothing in the library silently degrades to a wrong answer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or incompatible with an operation."""
+
+
+class MatchingError(ReproError):
+    """A matching / permutation matrix violates its invariants."""
+
+
+class CollectiveError(ReproError):
+    """A collective algorithm was constructed with invalid parameters."""
+
+
+class SemanticsError(CollectiveError):
+    """A collective's block-level execution violated its postcondition."""
+
+
+class FlowError(ReproError):
+    """Maximum-concurrent-flow computation failed or is infeasible."""
+
+
+class DecompositionError(ReproError):
+    """Birkhoff-von-Neumann decomposition failed on the given matrix."""
+
+
+class ScheduleError(ReproError):
+    """A circuit-switching schedule is inconsistent with its collective."""
+
+
+class FabricError(ReproError):
+    """An optical fabric operation is invalid (bad port, bad config...)."""
+
+
+class SimulationError(ReproError):
+    """The flow-level simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment configuration is invalid."""

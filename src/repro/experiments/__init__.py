@@ -1,0 +1,29 @@
+"""Reproduction harness for the paper's evaluation (Figure 1, Figure 2)."""
+
+from .config import (
+    FIGURE1_PANELS,
+    FIGURE2_PANEL,
+    PAPER_CONFIG,
+    PanelSpec,
+    PaperConfig,
+    small_config,
+)
+from .figure1 import PanelResult, panel_by_id, run_figure1, run_panel
+from .figure2 import run_figure2
+from .io import panel_report, write_panel_csv
+
+__all__ = [
+    "PanelSpec",
+    "PaperConfig",
+    "PAPER_CONFIG",
+    "FIGURE1_PANELS",
+    "FIGURE2_PANEL",
+    "small_config",
+    "PanelResult",
+    "run_panel",
+    "run_figure1",
+    "run_figure2",
+    "panel_by_id",
+    "panel_report",
+    "write_panel_csv",
+]

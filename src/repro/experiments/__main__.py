@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m repro.experiments ...``.
+
+Subcommands:
+
+* ``figure1 [--panel a..h] [--n N] [--csv DIR]`` — reproduce Figure 1.
+* ``figure2 [--n N] [--csv DIR]``                — reproduce Figure 2.
+* ``list``                                        — available collectives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from ..collectives.registry import available_collectives
+from .config import PAPER_CONFIG
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .io import panel_report, write_panel_csv
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("figure1", help="the eight Figure 1 heatmaps")
+    fig1.add_argument(
+        "--panel",
+        default=None,
+        help="panel letters to run (e.g. 'aeh'); default: all",
+    )
+    fig1.add_argument("--n", type=int, default=None, help="override GPU count")
+    fig1.add_argument("--csv", type=Path, default=None, help="CSV output directory")
+
+    fig2 = sub.add_parser("figure2", help="the Figure 2 best-of-both heatmap")
+    fig2.add_argument("--n", type=int, default=None, help="override GPU count")
+    fig2.add_argument("--csv", type=Path, default=None, help="CSV output directory")
+
+    sub.add_parser("list", help="list available collective algorithms")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in available_collectives():
+            print(name)
+        return 0
+
+    config = PAPER_CONFIG
+    if args.n is not None:
+        config = replace(config, n=args.n)
+
+    if args.command == "figure1":
+        results = run_figure1(config, panels=args.panel)
+    else:
+        results = [run_figure2(config)]
+
+    for result in results:
+        print(panel_report(result))
+        print()
+        if args.csv is not None:
+            path = write_panel_csv(
+                result, args.csv / f"figure_{result.spec.panel}.csv"
+            )
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Figure 1 reproduction: eight speedup heatmaps (paper §3.4).
+
+Top row (panels a-d): speedup of the optimized schedule over naive
+per-step reconfiguration (BvN schedules).  Bottom row (panels e-h):
+speedup over the static ring.  Panels vary the algorithm (recursive
+halving/doubling, Swing, All-to-All) and the per-step latency ``alpha``
+(100 ns or 10 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.regimes import RegimeCensus, census
+from ..analysis.speedup import SpeedupGrid, compute_speedup_grid
+from ..collectives.registry import make_collective
+from ..exceptions import ConfigurationError
+from ..flows import ThroughputCache, default_cache
+from .config import FIGURE1_PANELS, PanelSpec, PaperConfig, PAPER_CONFIG
+
+__all__ = ["PanelResult", "run_panel", "run_figure1", "panel_by_id"]
+
+
+@dataclass(frozen=True)
+class PanelResult:
+    """One evaluated heatmap panel."""
+
+    spec: PanelSpec
+    grid: SpeedupGrid
+    census: RegimeCensus
+
+    def speedups(self):
+        """The panel's speedup matrix (rows = message sizes)."""
+        return self.grid.speedup(self.spec.comparator)
+
+
+def panel_by_id(panel: str) -> PanelSpec:
+    """Look up a Figure 1 panel spec by its letter."""
+    for spec in FIGURE1_PANELS:
+        if spec.panel == panel:
+            return spec
+    raise ConfigurationError(
+        f"unknown Figure 1 panel {panel!r}; choose from "
+        f"{[s.panel for s in FIGURE1_PANELS]}"
+    )
+
+
+def run_panel(
+    spec: PanelSpec,
+    config: PaperConfig = PAPER_CONFIG,
+    cache: ThroughputCache | None = default_cache,
+) -> PanelResult:
+    """Evaluate one panel's full (alpha_r x message size) grid."""
+    topology = config.base_topology()
+    params = config.params(spec.alpha)
+
+    def factory(message_size: float):
+        return make_collective(spec.algorithm, config.n, message_size)
+
+    grid = compute_speedup_grid(
+        factory,
+        topology,
+        params,
+        config.message_sizes,
+        config.alpha_rs,
+        cache=cache,
+        algorithm=spec.algorithm,
+    )
+    return PanelResult(spec=spec, grid=grid, census=census(grid))
+
+
+def run_figure1(
+    config: PaperConfig = PAPER_CONFIG,
+    panels: str | None = None,
+    cache: ThroughputCache | None = default_cache,
+) -> list[PanelResult]:
+    """Evaluate all (or selected) Figure 1 panels.
+
+    ``panels`` is a string of panel letters, e.g. ``"aeh"``; ``None``
+    runs all eight.
+    """
+    selected = (
+        FIGURE1_PANELS
+        if panels is None
+        else tuple(panel_by_id(p) for p in panels)
+    )
+    return [run_panel(spec, config=config, cache=cache) for spec in selected]

@@ -1,0 +1,80 @@
+"""Emission of experiment results: text reports and CSV files."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..analysis.heatmap import render_grid, render_shaded
+from .figure1 import PanelResult
+
+__all__ = ["panel_report", "write_panel_csv"]
+
+
+def panel_report(result: PanelResult, shaded: bool = True) -> str:
+    """Full text report for one panel: header, numeric grid, shaded
+    view, and the regime census."""
+    spec = result.spec
+    speedups = result.speedups()
+    title = (
+        f"Figure panel {spec.panel}: {spec.description}\n"
+        f"(speedup of OPT vs {spec.comparator}; rows = message size, "
+        f"columns = reconfiguration delay)"
+    )
+    parts = [
+        render_grid(
+            speedups, result.grid.message_sizes, result.grid.alpha_rs, title=title
+        )
+    ]
+    if shaded:
+        parts.append(
+            render_shaded(
+                speedups,
+                result.grid.message_sizes,
+                result.grid.alpha_rs,
+                title="shaded view (dark = high speedup):",
+            )
+        )
+    parts.append(result.census.summary())
+    return "\n\n".join(parts)
+
+
+def write_panel_csv(result: PanelResult, path: str | Path) -> Path:
+    """Write one panel's grid as a tidy CSV (one row per cell)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    speedups = result.speedups()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "panel",
+                "algorithm",
+                "comparator",
+                "message_size_bits",
+                "alpha_r_seconds",
+                "opt_seconds",
+                "static_seconds",
+                "bvn_seconds",
+                "speedup",
+                "matched_steps",
+            ]
+        )
+        grid = result.grid
+        for row, message in enumerate(grid.message_sizes):
+            for col, alpha_r in enumerate(grid.alpha_rs):
+                writer.writerow(
+                    [
+                        result.spec.panel,
+                        result.spec.algorithm,
+                        result.spec.comparator,
+                        message,
+                        alpha_r,
+                        grid.opt[row, col],
+                        grid.static[row, col],
+                        grid.bvn[row, col],
+                        speedups[row, col],
+                        int(grid.matched_steps[row, col]),
+                    ]
+                )
+    return path

@@ -1,0 +1,28 @@
+"""Photonic fabric models: switches, transceivers, reconfiguration delays."""
+
+from .ocs import OpticalCircuitSwitch, SwitchStatistics
+from .reconfiguration import (
+    ConstantReconfigurationDelay,
+    PerPortReconfigurationDelay,
+    ReconfigurationModel,
+    TableReconfigurationDelay,
+    configuration_from_matching,
+    configuration_from_topology,
+    touched_ports,
+)
+from .transceiver import Transceiver
+from .wavelength import WavelengthSwitchedFabric
+
+__all__ = [
+    "OpticalCircuitSwitch",
+    "WavelengthSwitchedFabric",
+    "SwitchStatistics",
+    "Transceiver",
+    "ReconfigurationModel",
+    "ConstantReconfigurationDelay",
+    "PerPortReconfigurationDelay",
+    "TableReconfigurationDelay",
+    "configuration_from_matching",
+    "configuration_from_topology",
+    "touched_ports",
+]

@@ -1,0 +1,135 @@
+"""Optical circuit switch (OCS) model (paper §3.1).
+
+An ``n``-port programmable photonic interconnect: light entering port
+``j`` is routed to port ``k`` according to the current configuration, a
+set of directed circuits forming a (partial) permutation.  The switch
+tracks reconfiguration statistics and exposes its current state as a
+:class:`~repro.topology.base.Topology` so the flow machinery can
+analyze it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._validation import require_positive
+from ..exceptions import FabricError
+from ..matching import Matching
+from ..topology.base import Topology
+from .reconfiguration import (
+    Configuration,
+    ConstantReconfigurationDelay,
+    ReconfigurationModel,
+    configuration_from_matching,
+)
+
+__all__ = ["OpticalCircuitSwitch", "SwitchStatistics"]
+
+
+@dataclass
+class SwitchStatistics:
+    """Cumulative reconfiguration accounting."""
+
+    n_reconfigurations: int = 0
+    total_reconfiguration_time: float = 0.0
+    ports_touched: int = 0
+
+
+class OpticalCircuitSwitch:
+    """A programmable n-port circuit switch.
+
+    Parameters
+    ----------
+    n_ports:
+        Number of ports (one per GPU in a scale-up domain).
+    port_rate:
+        Circuit bandwidth in bits/second.
+    reconfiguration_model:
+        Delay model; defaults to a constant 10 us.
+    initial:
+        Starting configuration as a :class:`Matching` (e.g. the base
+        ring).  Defaults to all ports dark.
+    """
+
+    def __init__(
+        self,
+        n_ports: int,
+        port_rate: float,
+        reconfiguration_model: ReconfigurationModel | None = None,
+        initial: Matching | None = None,
+    ):
+        self.n_ports = int(n_ports)
+        if self.n_ports < 2:
+            raise FabricError(f"a switch needs at least 2 ports, got {n_ports}")
+        self.port_rate = require_positive(port_rate, "port_rate", FabricError)
+        self.reconfiguration_model = (
+            reconfiguration_model
+            if reconfiguration_model is not None
+            else ConstantReconfigurationDelay(10e-6)
+        )
+        self.statistics = SwitchStatistics()
+        self._configuration: Configuration = frozenset()
+        if initial is not None:
+            self._validate_matching(initial)
+            self._configuration = configuration_from_matching(initial)
+
+    def _validate_matching(self, matching: Matching) -> None:
+        if matching.n > self.n_ports:
+            raise FabricError(
+                f"matching over {matching.n} ranks exceeds {self.n_ports} ports"
+            )
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def configuration(self) -> Configuration:
+        """The current circuit set (read-only)."""
+        return self._configuration
+
+    def destination_of(self, port: int) -> int | None:
+        """The output port the given input port is circuited to."""
+        for tx, rx in self._configuration:
+            if tx == port:
+                return rx
+        return None
+
+    def as_topology(self) -> Topology:
+        """The current configuration as a capacitated topology.
+
+        Dark (unconnected) ports appear as isolated rank nodes.
+        """
+        return Topology(
+            self.n_ports,
+            ((tx, rx, self.port_rate) for tx, rx in self._configuration),
+            name=f"ocs({len(self._configuration)} circuits)",
+            metadata={"family": "matched", "reference_rate": self.port_rate},
+        )
+
+    # -- reconfiguration ----------------------------------------------------------
+
+    def connect(self, matching: Matching) -> float:
+        """Reconfigure to realize ``matching``; returns the delay paid.
+
+        Only the touched ports are re-provisioned (paper §3.1: a subset
+        collective reconfigures only the involved ports).  Connecting an
+        already-realized configuration costs nothing.
+        """
+        self._validate_matching(matching)
+        target = configuration_from_matching(matching)
+        delay = self.reconfiguration_model.delay(self._configuration, target)
+        if delay > 0 or target != self._configuration:
+            changed = self._configuration.symmetric_difference(target)
+            self.statistics.n_reconfigurations += 1 if changed else 0
+            self.statistics.total_reconfiguration_time += delay
+            self.statistics.ports_touched += len(
+                {port for circuit in changed for port in circuit}
+            )
+        self._configuration = target
+        return delay
+
+    def __repr__(self) -> str:
+        return (
+            f"OpticalCircuitSwitch(n_ports={self.n_ports}, "
+            f"circuits={len(self._configuration)}, "
+            f"reconfigurations={self.statistics.n_reconfigurations})"
+        )

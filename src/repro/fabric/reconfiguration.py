@@ -1,0 +1,154 @@
+"""Reconfiguration delay models (paper §3.1 and research agenda §4).
+
+The paper's framework assumes a constant ``alpha_r`` but explicitly
+notes that real devices (e.g. PipSwitch-style programmable photonics)
+have delays that grow with the number of ports involved.  This module
+models both:
+
+* a *configuration* is the set of directed circuits ``(tx, rx)``
+  currently established;
+* :class:`ConstantReconfigurationDelay` charges a fixed ``alpha_r`` for
+  any change;
+* :class:`PerPortReconfigurationDelay` charges
+  ``base + per_port * |touched ports|``;
+* :class:`TableReconfigurationDelay` interpolates measured delays.
+
+All models return 0.0 when the target equals the current configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from .._validation import require_non_negative
+from ..exceptions import FabricError
+from ..matching import Matching
+from ..topology.base import Topology
+
+__all__ = [
+    "Configuration",
+    "configuration_from_matching",
+    "configuration_from_topology",
+    "touched_ports",
+    "ReconfigurationModel",
+    "ConstantReconfigurationDelay",
+    "PerPortReconfigurationDelay",
+    "TableReconfigurationDelay",
+]
+
+Configuration = frozenset  # of (tx, rx) pairs
+
+
+def configuration_from_matching(matching: Matching) -> Configuration:
+    """The circuit set realizing a matching."""
+    return frozenset(matching.pairs)
+
+
+def configuration_from_topology(topology: Topology) -> Configuration:
+    """The circuit set of a standing topology (rank-to-rank edges).
+
+    Only valid for fabrics realizable by one circuit layer per port
+    pair; relay nodes (electrical switches) are rejected because they
+    are not photonic circuits.
+    """
+    if topology.relay_nodes:
+        raise FabricError(
+            f"topology {topology.name!r} contains relay nodes and is not "
+            "an optical circuit configuration"
+        )
+    return frozenset((u, v) for u, v, _ in topology.edges())
+
+
+def touched_ports(previous: Configuration, target: Configuration) -> frozenset:
+    """Ports whose circuits change between two configurations.
+
+    A port is touched when a circuit it terminates is added or removed.
+    """
+    changed = previous.symmetric_difference(target)
+    return frozenset(port for circuit in changed for port in circuit)
+
+
+class ReconfigurationModel(ABC):
+    """Maps a configuration change to a delay in seconds."""
+
+    @abstractmethod
+    def delay_for_ports(self, n_ports: int) -> float:
+        """Delay when ``n_ports`` ports must be re-provisioned."""
+
+    def delay(self, previous: Configuration, target: Configuration) -> float:
+        """Delay for moving between two explicit configurations."""
+        if previous == target:
+            return 0.0
+        return self.delay_for_ports(len(touched_ports(previous, target)))
+
+
+class ConstantReconfigurationDelay(ReconfigurationModel):
+    """The paper's model: every reconfiguration costs ``alpha_r``."""
+
+    def __init__(self, alpha_r: float):
+        self.alpha_r = require_non_negative(alpha_r, "alpha_r", FabricError)
+
+    def delay_for_ports(self, n_ports: int) -> float:
+        if n_ports == 0:
+            return 0.0
+        return self.alpha_r
+
+    def __repr__(self) -> str:
+        return f"ConstantReconfigurationDelay(alpha_r={self.alpha_r:g})"
+
+
+class PerPortReconfigurationDelay(ReconfigurationModel):
+    """Affine model: ``base + per_port * touched_ports``.
+
+    Captures devices that reprogram ports sequentially (research agenda:
+    "tackling variable reconfiguration delays").
+    """
+
+    def __init__(self, base: float, per_port: float):
+        self.base = require_non_negative(base, "base", FabricError)
+        self.per_port = require_non_negative(per_port, "per_port", FabricError)
+
+    def delay_for_ports(self, n_ports: int) -> float:
+        if n_ports == 0:
+            return 0.0
+        return self.base + self.per_port * n_ports
+
+    def __repr__(self) -> str:
+        return (
+            f"PerPortReconfigurationDelay(base={self.base:g}, "
+            f"per_port={self.per_port:g})"
+        )
+
+
+class TableReconfigurationDelay(ReconfigurationModel):
+    """Piecewise model from measured (port count, delay) samples.
+
+    Delays are taken from the smallest tabulated port count that covers
+    the request (step function, conservative for devices with batch
+    programming granularity).
+    """
+
+    def __init__(self, samples: Sequence[tuple[int, float]]):
+        if not samples:
+            raise FabricError("at least one (ports, delay) sample is required")
+        table = sorted((int(p), float(d)) for p, d in samples)
+        for ports, delay in table:
+            if ports <= 0:
+                raise FabricError(f"port counts must be positive, got {ports}")
+            require_non_negative(delay, "delay", FabricError)
+        self._ports = [p for p, _ in table]
+        self._delays = [d for _, d in table]
+
+    def delay_for_ports(self, n_ports: int) -> float:
+        if n_ports == 0:
+            return 0.0
+        index = bisect_left(self._ports, n_ports)
+        if index == len(self._ports):
+            index -= 1  # beyond the table: use the largest sample
+        return self._delays[index]
+
+    def __repr__(self) -> str:
+        pairs = list(zip(self._ports, self._delays))
+        return f"TableReconfigurationDelay({pairs!r})"

@@ -1,0 +1,51 @@
+"""Electrical-to-optical transceiver model (paper §3.1, TeraPhy-like).
+
+A transceiver is the per-GPU attachment point: it fixes the port rate
+``b`` and, for wavelength-switched fabrics, the laser tuning behaviour.
+Defaults follow the paper's evaluation (800 Gb/s ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_non_negative, require_positive
+from ..exceptions import FabricError
+from ..units import Gbps, ns, us
+
+__all__ = ["Transceiver"]
+
+
+@dataclass(frozen=True)
+class Transceiver:
+    """A single optical port.
+
+    Attributes
+    ----------
+    rate:
+        Line rate in bits/second (both directions).
+    wavelength_tunable:
+        Whether the laser can retune (enables passive wavelength-routed
+        fabrics without a central controller, paper §3.1).
+    tuning_time:
+        Laser retuning time in seconds (ignored unless tunable).
+    serdes_latency:
+        Fixed electrical-optical conversion latency per traversal,
+        absorbed into the cost model's ``alpha`` in analyses but kept
+        explicit for fabric-level accounting.
+    """
+
+    rate: float = Gbps(800)
+    wavelength_tunable: bool = False
+    tuning_time: float = us(10)
+    serdes_latency: float = ns(5)
+
+    def __post_init__(self) -> None:
+        require_positive(self.rate, "rate", FabricError)
+        require_non_negative(self.tuning_time, "tuning_time", FabricError)
+        require_non_negative(self.serdes_latency, "serdes_latency", FabricError)
+
+    def transmission_time(self, n_bits: float) -> float:
+        """Seconds to push ``n_bits`` through the port at line rate."""
+        require_non_negative(n_bits, "n_bits", FabricError)
+        return n_bits / self.rate

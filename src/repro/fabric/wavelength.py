@@ -1,0 +1,105 @@
+"""Passive wavelength-switched fabric (paper §3.1, second design).
+
+An AWGR-style passive interconnect: the wavelength a source laser emits
+determines the output port (``wavelength = (dst - src) mod n``), so the
+fabric needs no central controller — "reconfiguration" is the sources
+retuning their lasers in parallel.  The delay is therefore one tuning
+time regardless of how many ports change, in contrast to port-dependent
+OCS models.
+
+The only structural constraint is wavelength-uniqueness per output,
+which any (partial) matching satisfies automatically; matchings are
+validated anyway to surface logic errors early.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_non_negative, require_positive
+from ..exceptions import FabricError
+from ..matching import Matching
+from ..topology.base import Topology
+from .ocs import SwitchStatistics
+
+__all__ = ["WavelengthSwitchedFabric"]
+
+
+class WavelengthSwitchedFabric:
+    """A passive n-port wavelength-routed interconnect.
+
+    Parameters
+    ----------
+    n_ports:
+        Number of ports; also the number of distinct wavelengths the
+        cyclic router resolves.
+    port_rate:
+        Per-circuit bandwidth in bits/second.
+    tuning_time:
+        Laser retuning time in seconds (the fabric's ``alpha_r``).
+    """
+
+    def __init__(self, n_ports: int, port_rate: float, tuning_time: float):
+        self.n_ports = int(n_ports)
+        if self.n_ports < 2:
+            raise FabricError(f"a fabric needs at least 2 ports, got {n_ports}")
+        self.port_rate = require_positive(port_rate, "port_rate", FabricError)
+        self.tuning_time = require_non_negative(
+            tuning_time, "tuning_time", FabricError
+        )
+        self.statistics = SwitchStatistics()
+        self._wavelength_of: dict[int, int] = {}
+
+    def wavelength_for(self, src: int, dst: int) -> int:
+        """The wavelength index routing ``src`` to ``dst``."""
+        if not (0 <= src < self.n_ports and 0 <= dst < self.n_ports):
+            raise FabricError(f"ports ({src}, {dst}) out of range")
+        if src == dst:
+            raise FabricError("a port cannot route to itself")
+        return (dst - src) % self.n_ports
+
+    @property
+    def configuration(self) -> frozenset:
+        """Current circuits implied by the laser tuning."""
+        return frozenset(
+            (src, (src + wl) % self.n_ports)
+            for src, wl in self._wavelength_of.items()
+        )
+
+    def connect(self, matching: Matching) -> float:
+        """Retune the fabric to realize ``matching``; returns the delay.
+
+        All lasers tune in parallel: the delay is zero if no source
+        changes wavelength and one ``tuning_time`` otherwise,
+        independent of the number of ports involved.
+        """
+        if matching.n > self.n_ports:
+            raise FabricError(
+                f"matching over {matching.n} ranks exceeds {self.n_ports} ports"
+            )
+        target = {src: self.wavelength_for(src, dst) for src, dst in matching}
+        changed = {
+            src
+            for src in set(target) | set(self._wavelength_of)
+            if target.get(src) != self._wavelength_of.get(src)
+        }
+        delay = self.tuning_time if changed else 0.0
+        if changed:
+            self.statistics.n_reconfigurations += 1
+            self.statistics.total_reconfiguration_time += delay
+            self.statistics.ports_touched += len(changed)
+        self._wavelength_of = target
+        return delay
+
+    def as_topology(self) -> Topology:
+        """The current circuits as a capacitated topology."""
+        return Topology(
+            self.n_ports,
+            ((src, dst, self.port_rate) for src, dst in self.configuration),
+            name=f"wavelength_fabric({len(self._wavelength_of)} lit)",
+            metadata={"family": "matched", "reference_rate": self.port_rate},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WavelengthSwitchedFabric(n_ports={self.n_ports}, "
+            f"lit={len(self._wavelength_of)})"
+        )

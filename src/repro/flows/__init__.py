@@ -1,0 +1,127 @@
+"""Network throughput: maximum concurrent flow, proxies, and caching.
+
+The central entry point is :func:`compute_theta`, which evaluates the
+congestion term ``theta(G, M_i)`` of the paper's cost model (Eq. 3) for
+a topology/matching pair, dispatching between closed forms, the exact
+LP, and cheap proxies.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import FlowError
+from ..matching import Matching
+from ..topology.base import Topology
+from .bounds import (
+    theta_lower_bound_shortest_path,
+    theta_proxy,
+    theta_upper_bound_flowhops,
+    theta_upper_bound_ports,
+)
+from .cache import ThroughputCache, default_cache
+from .closed_forms import detect_uniform_shift, ring_shift_theta, try_closed_form_theta
+from .concurrent_flow import (
+    Commodity,
+    ConcurrentFlowResult,
+    commodities_from_matching,
+    commodities_from_matrix,
+    max_concurrent_flow,
+)
+from .routing import (
+    PathLengthRule,
+    RoutingResult,
+    hop_distances,
+    path_length,
+    route_k_shortest_split,
+    route_shortest_paths,
+)
+
+__all__ = [
+    "Commodity",
+    "ConcurrentFlowResult",
+    "max_concurrent_flow",
+    "commodities_from_matching",
+    "commodities_from_matrix",
+    "compute_theta",
+    "PathLengthRule",
+    "RoutingResult",
+    "path_length",
+    "hop_distances",
+    "route_shortest_paths",
+    "route_k_shortest_split",
+    "theta_proxy",
+    "theta_upper_bound_ports",
+    "theta_upper_bound_flowhops",
+    "theta_lower_bound_shortest_path",
+    "ring_shift_theta",
+    "detect_uniform_shift",
+    "try_closed_form_theta",
+    "ThroughputCache",
+    "default_cache",
+]
+
+_METHODS = ("auto", "lp", "closed", "sp", "proxy")
+
+
+def compute_theta(
+    topology: Topology,
+    matching: Matching,
+    reference_rate: float | None = None,
+    method: str = "auto",
+    cache: ThroughputCache | None = default_cache,
+) -> float:
+    """Evaluate ``theta(G, M)`` for one collective step.
+
+    Parameters
+    ----------
+    topology:
+        The base topology ``G``.
+    matching:
+        The step's communication pattern ``M``.
+    reference_rate:
+        Capacity normalizer (transceiver bandwidth ``b``).  Defaults to
+        the topology's recorded ``reference_rate`` metadata.
+    method:
+        * ``"auto"`` — closed form when available, else exact LP;
+        * ``"lp"`` — always the exact LP;
+        * ``"closed"`` — closed form only (raises if unavailable);
+        * ``"sp"`` — shortest-path feasible-routing lower bound;
+        * ``"proxy"`` — degree/flow-hop upper-bound proxy.
+    cache:
+        Memo table; pass ``None`` to disable caching.
+    """
+    if method not in _METHODS:
+        raise FlowError(f"unknown theta method {method!r}; choose from {_METHODS}")
+    if reference_rate is None:
+        reference_rate = topology.metadata.get("reference_rate")
+        if reference_rate is None:
+            raise FlowError(
+                "reference_rate not given and topology metadata has none"
+            )
+    reference_rate = float(reference_rate)
+
+    def evaluate() -> float:
+        if len(matching) == 0:
+            return float("inf")
+        if method == "closed":
+            value = try_closed_form_theta(topology, matching)
+            if value is None:
+                raise FlowError(
+                    f"no closed form for {topology.name!r} with this matching"
+                )
+            return value
+        if method == "sp":
+            return theta_lower_bound_shortest_path(
+                topology, matching, reference_rate
+            )
+        if method == "proxy":
+            return theta_proxy(topology, matching, reference_rate)
+        if method == "auto":
+            value = try_closed_form_theta(topology, matching)
+            if value is not None:
+                return value
+        commodities = commodities_from_matching(matching)
+        return max_concurrent_flow(topology, commodities, reference_rate).theta
+
+    if cache is None:
+        return evaluate()
+    return cache.get_or_compute(topology, matching, evaluate, tag=f"theta:{method}")

@@ -1,0 +1,63 @@
+"""Memoization of throughput values.
+
+Theta depends only on the topology structure and the communication
+pattern — not on message size, alpha, or the reconfiguration delay — so
+the figure sweeps (thousands of (alpha_r, m) grid points) need only a
+handful of distinct theta computations.  :class:`ThroughputCache` keys
+results by (topology fingerprint, matching) and is shared by default
+through a module-level instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..matching import Matching
+from ..topology.base import Topology
+
+__all__ = ["ThroughputCache", "default_cache"]
+
+
+class ThroughputCache:
+    """A keyed memo table for theta values."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, topology: Topology, matching: Matching, tag: str) -> tuple:
+        return (topology.fingerprint(), matching, tag)
+
+    def get_or_compute(
+        self,
+        topology: Topology,
+        matching: Matching,
+        compute: Callable[[], float],
+        tag: str = "theta",
+    ) -> float:
+        """Return the cached value or compute, store, and return it.
+
+        ``tag`` separates entries produced by different estimators (the
+        exact LP vs. proxies) for the same pattern.
+        """
+        key = self._key(topology, matching, tag)
+        if key in self._table:
+            self.hits += 1
+            return self._table[key]
+        self.misses += 1
+        value = float(compute())
+        self._table[key] = value
+        return value
+
+
+default_cache = ThroughputCache()

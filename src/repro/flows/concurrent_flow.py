@@ -1,0 +1,234 @@
+"""Exact maximum concurrent flow via linear programming (paper §3.2).
+
+The paper defines ``theta(G, M_i)`` as the largest fraction of the
+(unit-demand) permutation matrix ``M_i`` that can be routed concurrently
+on ``G`` without exceeding any link capacity (Shahrokhi & Matula's
+maximum concurrent flow).  We solve the edge-based LP with scipy's HiGHS
+backend:
+
+    maximize    phi
+    subject to  flow conservation per commodity and node,
+                sum_k f_k(e) <= c(e)          for every edge e,
+                f_k(e) >= 0, phi >= 0,
+
+where commodity ``k`` must ship ``phi * w_k`` units from its source to
+its destination.  Capacities are normalized by a *reference rate* (one
+transceiver bandwidth ``b``) so that ``theta == 1`` means "every pair
+enjoys a dedicated full-rate circuit" — the matched-topology ideal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from ..exceptions import FlowError
+from ..matching import Matching
+from ..topology.base import Topology
+
+__all__ = [
+    "Commodity",
+    "ConcurrentFlowResult",
+    "max_concurrent_flow",
+    "commodities_from_matching",
+    "commodities_from_matrix",
+]
+
+
+@dataclass(frozen=True)
+class Commodity:
+    """A single source-destination demand.
+
+    ``demand`` is expressed in reference-rate units: a full permutation
+    step uses demand 1.0 per pair.
+    """
+
+    src: object
+    dst: object
+    demand: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise FlowError(f"commodity with src == dst == {self.src!r}")
+        if not self.demand > 0:
+            raise FlowError(f"commodity demand must be positive, got {self.demand}")
+
+
+@dataclass(frozen=True)
+class ConcurrentFlowResult:
+    """Outcome of a maximum-concurrent-flow computation.
+
+    Attributes
+    ----------
+    theta:
+        The maximum concurrent flow value.  ``0.0`` means at least one
+        commodity is disconnected; ``inf`` means there were no
+        commodities to route.
+    edge_flows:
+        Optional per-commodity edge flows at the optimum, as a tuple of
+        ``{(u, v): flow}`` mappings aligned with the commodity order
+        (flows are for *one unit* of theta-scaled demand, i.e. they ship
+        ``theta * w_k``).  ``None`` unless ``return_flows=True``.
+    """
+
+    theta: float
+    edge_flows: tuple[dict[tuple[object, object], float], ...] | None = None
+
+
+def commodities_from_matching(matching: Matching) -> tuple[Commodity, ...]:
+    """Unit-demand commodities for each pair of a matching."""
+    return tuple(Commodity(src, dst, 1.0) for src, dst in matching)
+
+
+def commodities_from_matrix(
+    matrix: np.ndarray, reference_volume: float | None = None
+) -> tuple[Commodity, ...]:
+    """Commodities from a demand matrix.
+
+    Each nonzero off-diagonal entry becomes a commodity.  Demands are
+    divided by ``reference_volume`` (default: the maximum entry) so the
+    heaviest pair has demand 1.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise FlowError(f"demand matrix must be square, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise FlowError("demand matrix entries must be non-negative")
+    if reference_volume is None:
+        reference_volume = float(matrix.max())
+        if reference_volume <= 0:
+            return ()
+    commodities = []
+    n = matrix.shape[0]
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and matrix[src, dst] > 0:
+                commodities.append(
+                    Commodity(src, dst, float(matrix[src, dst]) / reference_volume)
+                )
+    return tuple(commodities)
+
+
+def max_concurrent_flow(
+    topology: Topology,
+    commodities: Sequence[Commodity],
+    reference_rate: float,
+    return_flows: bool = False,
+) -> ConcurrentFlowResult:
+    """Solve the maximum concurrent flow LP exactly.
+
+    Parameters
+    ----------
+    topology:
+        The capacitated directed graph ``G``.
+    commodities:
+        The demands to route concurrently.
+    reference_rate:
+        Capacity normalizer in bits/second (one transceiver ``b``).
+    return_flows:
+        Also extract the optimal per-commodity edge flows.
+
+    Returns
+    -------
+    ConcurrentFlowResult
+        ``theta`` is ``inf`` with no commodities, ``0.0`` when some
+        commodity is disconnected, the LP optimum otherwise.
+    """
+    if reference_rate <= 0:
+        raise FlowError(f"reference_rate must be positive, got {reference_rate}")
+    commodities = [c for c in commodities if c.src != c.dst]
+    if not commodities:
+        return ConcurrentFlowResult(theta=float("inf"), edge_flows=() if return_flows else None)
+
+    # Quick reachability screen: a disconnected commodity pins theta at 0.
+    for commodity in commodities:
+        if not topology.has_path(commodity.src, commodity.dst):
+            return ConcurrentFlowResult(theta=0.0, edge_flows=None)
+
+    nodes = list(topology.nodes)
+    node_index = {node: i for i, node in enumerate(nodes)}
+    edge_list = [(u, v) for u, v, _ in topology.edges()]
+    capacities = np.array(
+        [c / reference_rate for _, _, c in topology.edges()], dtype=float
+    )
+    n_nodes = len(nodes)
+    n_edges = len(edge_list)
+    n_comm = len(commodities)
+
+    # Variable layout: x = [phi, f_{0,e0}, f_{0,e1}, ..., f_{K-1,eE-1}]
+    n_vars = 1 + n_comm * n_edges
+
+    def fvar(k: int, e: int) -> int:
+        return 1 + k * n_edges + e
+
+    # Flow conservation: for each commodity k and node v,
+    #   sum_out f - sum_in f - phi * w_k * sign(v) = 0
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_vals: list[float] = []
+    for k, commodity in enumerate(commodities):
+        row_base = k * n_nodes
+        for e, (u, v) in enumerate(edge_list):
+            eq_rows.append(row_base + node_index[u])
+            eq_cols.append(fvar(k, e))
+            eq_vals.append(1.0)
+            eq_rows.append(row_base + node_index[v])
+            eq_cols.append(fvar(k, e))
+            eq_vals.append(-1.0)
+        eq_rows.append(row_base + node_index[commodity.src])
+        eq_cols.append(0)
+        eq_vals.append(-commodity.demand)
+        eq_rows.append(row_base + node_index[commodity.dst])
+        eq_cols.append(0)
+        eq_vals.append(commodity.demand)
+    a_eq = sparse.coo_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(n_comm * n_nodes, n_vars)
+    ).tocsr()
+    b_eq = np.zeros(n_comm * n_nodes)
+
+    # Capacity: sum_k f_k(e) <= c(e)
+    ub_rows: list[int] = []
+    ub_cols: list[int] = []
+    ub_vals: list[float] = []
+    for k in range(n_comm):
+        for e in range(n_edges):
+            ub_rows.append(e)
+            ub_cols.append(fvar(k, e))
+            ub_vals.append(1.0)
+    a_ub = sparse.coo_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(n_edges, n_vars)
+    ).tocsr()
+
+    objective = np.zeros(n_vars)
+    objective[0] = -1.0  # maximize phi
+
+    result = linprog(
+        objective,
+        A_ub=a_ub,
+        b_ub=capacities,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise FlowError(
+            f"concurrent-flow LP failed on {topology.name!r}: {result.message}"
+        )
+    theta = float(result.x[0])
+
+    edge_flows = None
+    if return_flows:
+        edge_flows = tuple(
+            {
+                edge_list[e]: float(result.x[fvar(k, e)])
+                for e in range(n_edges)
+                if result.x[fvar(k, e)] > 1e-12
+            }
+            for k in range(n_comm)
+        )
+    return ConcurrentFlowResult(theta=theta, edge_flows=edge_flows)

@@ -1,0 +1,177 @@
+"""Routing helpers: hop distances and explicit path-based routings.
+
+These serve two roles:
+
+* they define the path-length term ``l_i`` of the cost model (Eq. 3);
+* they provide lightweight throughput estimators (research agenda item
+  "routing challenges"): single shortest-path routing and k-shortest
+  path splitting, both of which *lower bound* the LP-exact theta because
+  they are feasible routings.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from collections.abc import Sequence
+from itertools import islice
+
+import networkx as nx
+
+from ..exceptions import FlowError
+from ..matching import Matching
+from ..topology.base import Topology
+from .concurrent_flow import Commodity
+
+__all__ = [
+    "PathLengthRule",
+    "path_length",
+    "hop_distances",
+    "route_shortest_paths",
+    "route_k_shortest_split",
+    "RoutingResult",
+]
+
+
+class PathLengthRule(enum.Enum):
+    """How to collapse per-pair hop counts into the scalar ``l_i``.
+
+    The paper charges propagation ``delta * l_i`` per step where ``l_i``
+    is "the path length of the most congested link in the corresponding
+    step"; for the symmetric patterns evaluated, every pair shares the
+    same distance, so the rules below coincide there.
+    """
+
+    MAX_PAIR_HOPS = "max"
+    MEAN_PAIR_HOPS = "mean"
+    SUM_PAIR_HOPS = "sum"
+
+
+def hop_distances(topology: Topology, matching: Matching) -> dict[tuple[int, int], int]:
+    """Shortest-path hop count for every pair of the matching."""
+    return {
+        (src, dst): topology.hop_distance(src, dst) for src, dst in matching
+    }
+
+
+def path_length(
+    topology: Topology,
+    matching: Matching,
+    rule: PathLengthRule = PathLengthRule.MAX_PAIR_HOPS,
+) -> float:
+    """The scalar path-length term ``l_i`` for one collective step.
+
+    Returns 0.0 for an empty matching (nothing propagates).
+    """
+    if len(matching) == 0:
+        return 0.0
+    distances = hop_distances(topology, matching).values()
+    if rule is PathLengthRule.MAX_PAIR_HOPS:
+        return float(max(distances))
+    if rule is PathLengthRule.MEAN_PAIR_HOPS:
+        return float(sum(distances)) / len(matching)
+    if rule is PathLengthRule.SUM_PAIR_HOPS:
+        return float(sum(distances))
+    raise FlowError(f"unknown path length rule {rule!r}")
+
+
+class RoutingResult:
+    """An explicit feasible routing with its induced throughput.
+
+    Attributes
+    ----------
+    edge_loads:
+        Demand-weighted load per edge (reference-rate units).
+    theta:
+        The concurrent-flow value this routing achieves:
+        ``min_e capacity(e) / load(e)`` over loaded edges.  Always a
+        lower bound on the LP-exact theta.
+    paths:
+        Mapping from commodity index to the list of (path, fraction)
+        pairs it uses.
+    """
+
+    def __init__(
+        self,
+        edge_loads: dict[tuple[object, object], float],
+        theta: float,
+        paths: dict[int, list[tuple[list[object], float]]],
+    ):
+        self.edge_loads = edge_loads
+        self.theta = theta
+        self.paths = paths
+
+    def max_load(self) -> float:
+        """The heaviest edge load (reference-rate units)."""
+        return max(self.edge_loads.values(), default=0.0)
+
+
+def _theta_from_loads(
+    topology: Topology,
+    loads: dict[tuple[object, object], float],
+    reference_rate: float,
+) -> float:
+    theta = float("inf")
+    for (u, v), load in loads.items():
+        if load > 0:
+            theta = min(theta, topology.capacity(u, v) / reference_rate / load)
+    return theta
+
+
+def route_shortest_paths(
+    topology: Topology,
+    commodities: Sequence[Commodity],
+    reference_rate: float,
+) -> RoutingResult:
+    """Route every commodity on one shortest path (unsplittable).
+
+    This is the simplest runtime-practical routing; its theta is the
+    "shortest-path proxy" of the research agenda.
+    """
+    loads: dict[tuple[object, object], float] = defaultdict(float)
+    paths: dict[int, list[tuple[list[object], float]]] = {}
+    for k, commodity in enumerate(commodities):
+        path = topology.shortest_path(commodity.src, commodity.dst)
+        paths[k] = [(path, 1.0)]
+        for u, v in zip(path, path[1:]):
+            loads[(u, v)] += commodity.demand
+    theta = _theta_from_loads(topology, dict(loads), reference_rate)
+    return RoutingResult(dict(loads), theta, paths)
+
+
+def route_k_shortest_split(
+    topology: Topology,
+    commodities: Sequence[Commodity],
+    reference_rate: float,
+    k: int = 2,
+) -> RoutingResult:
+    """Split every commodity evenly over its k shortest simple paths.
+
+    A cheap multipath routing that narrows the gap to the LP optimum on
+    rings (where the two directions are the only simple choices).
+    """
+    if k < 1:
+        raise FlowError(f"k must be >= 1, got {k}")
+    loads: dict[tuple[object, object], float] = defaultdict(float)
+    paths: dict[int, list[tuple[list[object], float]]] = {}
+    for idx, commodity in enumerate(commodities):
+        try:
+            candidates = list(
+                islice(
+                    nx.shortest_simple_paths(
+                        topology.graph, commodity.src, commodity.dst
+                    ),
+                    k,
+                )
+            )
+        except nx.NetworkXNoPath:
+            raise FlowError(
+                f"no path for commodity {commodity.src!r}->{commodity.dst!r}"
+            )
+        fraction = 1.0 / len(candidates)
+        paths[idx] = [(path, fraction) for path in candidates]
+        for path in candidates:
+            for u, v in zip(path, path[1:]):
+                loads[(u, v)] += commodity.demand * fraction
+    theta = _theta_from_loads(topology, dict(loads), reference_rate)
+    return RoutingResult(dict(loads), theta, paths)

@@ -1,0 +1,22 @@
+"""Flow-level simulation of collectives on reconfigurable fabrics."""
+
+from .events import EventQueue
+from .flowsim import FlowLevelSimulator, SimulationResult, StepTiming
+from .rates import RATE_METHODS, FlowRate, allocate_rates
+from .runner import SimulationReport, simulate
+from .trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "EventQueue",
+    "FlowLevelSimulator",
+    "SimulationResult",
+    "StepTiming",
+    "FlowRate",
+    "allocate_rates",
+    "RATE_METHODS",
+    "SimulationReport",
+    "simulate",
+    "EventKind",
+    "Trace",
+    "TraceEvent",
+]

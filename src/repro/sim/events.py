@@ -1,0 +1,69 @@
+"""A minimal discrete-event engine.
+
+The flow-level simulator is barrier-synchronous per collective step, but
+driving it through an explicit event queue keeps the door open for
+asynchronous extensions (overlapped reconfiguration, per-flow
+completions) and makes the timeline auditable: every state change is an
+event with a timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from ..exceptions import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered callback queue with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[_QueuedEvent] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run at absolute ``time``.
+
+        Scheduling in the past raises :class:`SimulationError`; ties are
+        broken in FIFO order.
+        """
+        if time < self.now - 1e-18:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, _QueuedEvent(time, next(self._counter), action))
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self.now + delay, action)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events in time order; returns the final clock value.
+
+        Stops when the queue drains or the next event exceeds ``until``.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            event.action()
+        return self.now

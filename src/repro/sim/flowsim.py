@@ -1,0 +1,296 @@
+"""The flow-level simulator (paper §3.4: "we conduct preliminary
+evaluations using a flow-level simulator").
+
+Executes a collective under a circuit-switching schedule on a base
+topology, producing an event timeline per step:
+
+1. (if the step's configuration differs from the standing one) a
+   reconfiguration interval,
+2. a barrier + step launch (the ``alpha`` term),
+3. concurrent flows at allocated rates; the step ends when the slowest
+   pair finishes (transmission + propagation),
+4. optional per-step compute, which may overlap the next
+   reconfiguration (``compute_overlap=True``).
+
+Two reconfiguration accounting modes:
+
+* ``"paper"`` — Eq. 7 semantics: ``alpha_r`` is charged whenever not
+  both of steps ``i-1, i`` run on the base topology (even for identical
+  consecutive matched configurations);
+* ``"physical"`` — circuits are tracked explicitly and transitions are
+  priced by a :class:`~repro.fabric.reconfiguration.ReconfigurationModel`
+  (identical configurations are free, per-port models supported).
+
+With ``rate_method="mcf"`` and ``"paper"`` accounting the simulated
+total provably equals the analytic Eq. 7 objective; the test suite
+asserts this equivalence step for step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.base import Collective
+from ..core.cost_model import CostParameters
+from ..core.schedule import Decision, Schedule
+from ..exceptions import SimulationError
+from ..fabric.reconfiguration import (
+    Configuration,
+    ConstantReconfigurationDelay,
+    ReconfigurationModel,
+    configuration_from_matching,
+    configuration_from_topology,
+)
+from ..flows import ThroughputCache, default_cache
+from ..matching import Matching
+from ..topology.base import Topology
+from ..topology.matched import matched_topology
+from .events import EventQueue
+from .rates import allocate_rates
+from .trace import EventKind, Trace
+
+__all__ = ["StepTiming", "SimulationResult", "FlowLevelSimulator"]
+
+_ACCOUNTING_MODES = ("paper", "physical")
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Timing decomposition of one executed step."""
+
+    index: int
+    decision: Decision
+    reconfiguration: float
+    start: float
+    end: float
+    slowest_pair: tuple[int, int] | None
+
+    @property
+    def duration(self) -> float:
+        """Communication time of the step, alpha included
+        (reconfiguration and compute excluded)."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Complete outcome of one simulated collective."""
+
+    total_time: float
+    steps: tuple[StepTiming, ...]
+    trace: Trace
+    reconfiguration_time: float
+    n_reconfigurations: int
+
+    @property
+    def communication_time(self) -> float:
+        """Sum of per-step communication durations."""
+        return sum(step.duration for step in self.steps)
+
+
+class FlowLevelSimulator:
+    """Simulates collectives over a reconfigurable photonic domain.
+
+    Parameters
+    ----------
+    topology:
+        The base (standing) topology ``G``.
+    params:
+        Cost model scalars; ``params.bandwidth`` is the circuit rate of
+        matched configurations.
+    rate_method:
+        Flow rate allocation on the base topology (``"mcf"``,
+        ``"maxmin"`` or ``"equal"``).
+    accounting:
+        Reconfiguration accounting mode (see module docstring).
+    reconfiguration_model:
+        Only for ``"physical"`` accounting; defaults to a constant
+        ``params.reconfiguration_delay``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: CostParameters,
+        rate_method: str = "mcf",
+        accounting: str = "paper",
+        reconfiguration_model: ReconfigurationModel | None = None,
+        cache: ThroughputCache | None = default_cache,
+    ):
+        if accounting not in _ACCOUNTING_MODES:
+            raise SimulationError(
+                f"unknown accounting {accounting!r}; choose from {_ACCOUNTING_MODES}"
+            )
+        self.topology = topology
+        self.params = params
+        self.rate_method = rate_method
+        self.accounting = accounting
+        self.reconfiguration_model = (
+            reconfiguration_model
+            if reconfiguration_model is not None
+            else ConstantReconfigurationDelay(params.reconfiguration_delay)
+        )
+        self.cache = cache
+        if accounting == "physical":
+            try:
+                self._base_config: Configuration | None = configuration_from_topology(
+                    topology
+                )
+            except Exception as exc:
+                raise SimulationError(
+                    "physical accounting requires a relay-free base topology"
+                ) from exc
+        else:
+            self._base_config = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _step_flows(self, matching: Matching, decision: Decision):
+        if decision is Decision.MATCHED:
+            circuit_topology = matched_topology(matching, self.params.bandwidth)
+            return allocate_rates(
+                circuit_topology,
+                matching,
+                self.params.bandwidth,
+                method="mcf",
+                cache=None,
+            )
+        return allocate_rates(
+            self.topology,
+            matching,
+            self.params.bandwidth,
+            method=self.rate_method,
+            cache=self.cache,
+        )
+
+    def _reconfiguration_delay(
+        self,
+        previous_decision: Decision,
+        decision: Decision,
+        current_config: Configuration | None,
+        target_config: Configuration | None,
+    ) -> float:
+        if self.accounting == "paper":
+            both_base = (
+                previous_decision is Decision.BASE and decision is Decision.BASE
+            )
+            return 0.0 if both_base else self.params.reconfiguration_delay
+        assert current_config is not None and target_config is not None
+        return self.reconfiguration_model.delay(current_config, target_config)
+
+    # -- main entry -----------------------------------------------------------------
+
+    def run(
+        self,
+        collective: Collective,
+        schedule: Schedule,
+        compute_overlap: bool = False,
+    ) -> SimulationResult:
+        """Simulate ``collective`` under ``schedule``.
+
+        With ``compute_overlap=True``, per-step ``compute_time`` windows
+        hide subsequent reconfigurations (research agenda extension).
+        """
+        if collective.num_steps != schedule.num_steps:
+            raise SimulationError(
+                f"schedule has {schedule.num_steps} steps, collective "
+                f"{collective.num_steps}"
+            )
+        if collective.n != self.topology.n_ranks:
+            raise SimulationError("collective and topology rank counts differ")
+
+        queue = EventQueue()
+        trace = Trace()
+        timings: list[StepTiming] = []
+        reconf_total = 0.0
+        n_reconf = 0
+
+        previous = Decision.BASE
+        current_config = self._base_config
+        compute_until = 0.0  # when the previous step's compute finishes
+
+        for index, step in enumerate(collective.steps):
+            decision = schedule.decisions[index]
+            if self.accounting == "physical":
+                if decision is Decision.MATCHED:
+                    target_config = configuration_from_matching(step.matching)
+                else:
+                    target_config = self._base_config
+            else:
+                target_config = None
+            delay = self._reconfiguration_delay(
+                previous, decision, current_config, target_config
+            )
+
+            communication_done = queue.now
+            if compute_overlap:
+                # Reconfiguration starts as soon as the wire is idle and
+                # runs concurrently with local compute.
+                reconf_start = communication_done
+                barrier_at = max(compute_until, reconf_start + delay)
+            else:
+                reconf_start = max(compute_until, communication_done)
+                barrier_at = reconf_start + delay
+            if delay > 0:
+                trace.record(reconf_start, EventKind.RECONFIG_START, index)
+                trace.record(
+                    reconf_start + delay,
+                    EventKind.RECONFIG_END,
+                    index,
+                    detail="matched" if decision is Decision.MATCHED else "base",
+                )
+                reconf_total += delay
+                n_reconf += 1
+            queue.schedule(barrier_at, lambda: None)
+            queue.run()
+
+            trace.record(queue.now, EventKind.BARRIER, index)
+            barrier_time = queue.now
+            start = barrier_time + self.params.alpha
+            trace.record(start, EventKind.STEP_START, index, detail=step.label)
+
+            end = start
+            slowest: tuple[int, int] | None = None
+            if len(step.matching) > 0:
+                for flow in self._step_flows(step.matching, decision):
+                    completion = (
+                        start
+                        + (step.volume / flow.rate if step.volume > 0 else 0.0)
+                        + self.params.delta * flow.hops
+                    )
+                    if completion > end:
+                        end = completion
+                        slowest = (flow.src, flow.dst)
+            queue.schedule(end, lambda: None)
+            queue.run()
+            trace.record(end, EventKind.STEP_END, index)
+
+            if step.compute_time > 0:
+                compute_until = end + step.compute_time
+                trace.record(compute_until, EventKind.COMPUTE_END, index)
+            else:
+                compute_until = end
+
+            timings.append(
+                StepTiming(
+                    index=index,
+                    decision=decision,
+                    reconfiguration=delay,
+                    start=barrier_time,
+                    end=end,
+                    slowest_pair=slowest,
+                )
+            )
+            previous = decision
+            if self.accounting == "physical":
+                current_config = target_config
+
+        final = max(queue.now, compute_until)
+        trace.record(final, EventKind.COLLECTIVE_END)
+        return SimulationResult(
+            total_time=final,
+            steps=tuple(timings),
+            trace=trace,
+            reconfiguration_time=reconf_total,
+            n_reconfigurations=n_reconf,
+        )

@@ -1,0 +1,148 @@
+"""Per-step flow rate allocation policies.
+
+The analytic cost model assumes the fabric achieves the maximum
+concurrent flow: every pair of step ``i`` runs at ``theta * b``.  Real
+transports allocate differently; this module provides three policies so
+the simulator can quantify the gap (ablation bench ``bench_sim``):
+
+* ``"mcf"``      — concurrent-flow-optimal rates (the model's idealism);
+* ``"maxmin"``   — progressive-filling max-min fairness over
+  shortest-path routes;
+* ``"equal"``    — each flow gets an equal share of its bottleneck edge
+  under shortest-path routing (TCP-like static fair share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SimulationError
+from ..flows import (
+    ThroughputCache,
+    commodities_from_matching,
+    compute_theta,
+    default_cache,
+    route_shortest_paths,
+)
+from ..matching import Matching
+from ..topology.base import Topology
+
+__all__ = ["FlowRate", "allocate_rates", "RATE_METHODS"]
+
+RATE_METHODS = ("mcf", "maxmin", "equal")
+
+
+@dataclass(frozen=True)
+class FlowRate:
+    """Allocated rate and path length for one (src, dst) flow."""
+
+    src: int
+    dst: int
+    rate: float
+    hops: float
+
+
+def _shortest_path_state(topology: Topology, matching: Matching):
+    commodities = commodities_from_matching(matching)
+    routing = route_shortest_paths(topology, commodities, reference_rate=1.0)
+    flow_edges: dict[tuple[int, int], list[tuple[object, object]]] = {}
+    for index, commodity in enumerate(commodities):
+        path = routing.paths[index][0][0]
+        flow_edges[(commodity.src, commodity.dst)] = list(zip(path, path[1:]))
+    return flow_edges
+
+
+def _maxmin_rates(
+    topology: Topology, matching: Matching
+) -> dict[tuple[int, int], float]:
+    """Progressive filling: repeatedly saturate the tightest edge."""
+    flow_edges = _shortest_path_state(topology, matching)
+    remaining_capacity = {(u, v): c for u, v, c in topology.edges()}
+    unfrozen = set(flow_edges)
+    rates: dict[tuple[int, int], float] = {}
+    while unfrozen:
+        # Edge pressure: capacity left / active flows crossing it.
+        pressure: dict[tuple[object, object], int] = {}
+        for flow in unfrozen:
+            for edge in flow_edges[flow]:
+                pressure[edge] = pressure.get(edge, 0) + 1
+        bottleneck_edge = min(
+            pressure, key=lambda e: remaining_capacity[e] / pressure[e]
+        )
+        fair_share = remaining_capacity[bottleneck_edge] / pressure[bottleneck_edge]
+        saturated = {
+            flow for flow in unfrozen if bottleneck_edge in flow_edges[flow]
+        }
+        for flow in saturated:
+            rates[flow] = fair_share
+            for edge in flow_edges[flow]:
+                remaining_capacity[edge] -= fair_share
+        # Guard against float drift leaving tiny negative capacities.
+        for edge, capacity in remaining_capacity.items():
+            if capacity < 0:
+                remaining_capacity[edge] = 0.0
+        unfrozen -= saturated
+    return rates
+
+
+def _equal_share_rates(
+    topology: Topology, matching: Matching
+) -> dict[tuple[int, int], float]:
+    """Each flow: min over its path of capacity / flows-on-edge."""
+    flow_edges = _shortest_path_state(topology, matching)
+    load: dict[tuple[object, object], int] = {}
+    for edges in flow_edges.values():
+        for edge in edges:
+            load[edge] = load.get(edge, 0) + 1
+    rates = {}
+    for flow, edges in flow_edges.items():
+        rates[flow] = min(
+            topology.capacity(u, v) / load[(u, v)] for u, v in edges
+        )
+    return rates
+
+
+def allocate_rates(
+    topology: Topology,
+    matching: Matching,
+    reference_rate: float,
+    method: str = "mcf",
+    cache: ThroughputCache | None = default_cache,
+) -> tuple[FlowRate, ...]:
+    """Allocate a transmission rate to every pair of a step.
+
+    Rates are in bits/second; ``hops`` is the pair's shortest-path
+    length (the propagation term uses it).
+    """
+    if method not in RATE_METHODS:
+        raise SimulationError(
+            f"unknown rate method {method!r}; choose from {RATE_METHODS}"
+        )
+    if len(matching) == 0:
+        return ()
+    if method == "mcf":
+        theta = compute_theta(
+            topology, matching, reference_rate=reference_rate, cache=cache
+        )
+        if theta == 0.0:
+            raise SimulationError(
+                f"pattern is not routable on topology {topology.name!r}"
+            )
+        rate = theta * reference_rate
+        return tuple(
+            FlowRate(src, dst, rate, float(topology.hop_distance(src, dst)))
+            for src, dst in matching
+        )
+    if method == "maxmin":
+        rates = _maxmin_rates(topology, matching)
+    else:
+        rates = _equal_share_rates(topology, matching)
+    return tuple(
+        FlowRate(
+            src,
+            dst,
+            rates[(src, dst)],
+            float(topology.hop_distance(src, dst)),
+        )
+        for src, dst in matching
+    )

@@ -1,0 +1,35 @@
+"""Capacitated topologies for photonic scale-up domains.
+
+This subpackage provides the graph substrate of the paper: a generic
+directed, capacitated :class:`Topology` plus named constructors for the
+base topologies discussed in the paper (rings, co-prime ring unions) and
+for reference fabrics used in tests and ablations (torus, hypercube,
+DGX-style switch planes, meshes, random graphs).
+"""
+
+from .base import Topology
+from .coprime import coprime_rings, default_coprime_shifts
+from .dgx import dgx
+from .generators import random_permutation_union, random_regular
+from .hypercube import hypercube
+from .matched import matched_topology, multi_matched_topology
+from .mesh import full_mesh, line, star
+from .ring import ring
+from .torus import torus
+
+__all__ = [
+    "Topology",
+    "ring",
+    "torus",
+    "hypercube",
+    "full_mesh",
+    "star",
+    "line",
+    "dgx",
+    "coprime_rings",
+    "default_coprime_shifts",
+    "matched_topology",
+    "multi_matched_topology",
+    "random_regular",
+    "random_permutation_union",
+]

@@ -1,0 +1,90 @@
+"""Unions of co-prime shift rings (paper §3.3, citing TopoOpt).
+
+A shift-``s`` ring is the directed circulant ``i -> (i + s) mod n``.
+Choosing shifts co-prime with ``n`` keeps each ring a single Hamiltonian
+cycle, and a union of several such rings yields a low-diameter,
+degree-``k`` base topology — the paper suggests pools of these as base
+topologies for the optimizer.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from collections.abc import Sequence
+
+from .._validation import require_node_count, require_positive
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["coprime_rings", "default_coprime_shifts"]
+
+
+def default_coprime_shifts(n: int, count: int) -> tuple[int, ...]:
+    """Pick the ``count`` smallest shifts co-prime with ``n``.
+
+    Starts at 1 and takes increasing shifts ``s`` with ``gcd(s, n) == 1``
+    and ``s <= n // 2`` so the rings stay distinct.
+    """
+    n = require_node_count(n, TopologyError)
+    shifts = []
+    for s in range(1, n // 2 + 1):
+        if gcd(s, n) == 1:
+            shifts.append(s)
+        if len(shifts) == count:
+            return tuple(shifts)
+    raise TopologyError(
+        f"only {len(shifts)} shifts co-prime with {n} exist below n/2, "
+        f"requested {count}"
+    )
+
+
+def coprime_rings(
+    n: int,
+    shifts: Sequence[int],
+    node_bandwidth: float,
+    bidirectional: bool = False,
+) -> Topology:
+    """Build the union of shift rings with the given shifts.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks.
+    shifts:
+        Ring shifts; each must be in ``[1, n)``.  Shifts need not be
+        co-prime with ``n`` (the name reflects the recommended choice).
+    node_bandwidth:
+        Aggregate transceiver bandwidth per GPU, split evenly across the
+        rings (and across both directions if ``bidirectional``).
+    bidirectional:
+        Also add the reverse edge of every ring link.
+    """
+    n = require_node_count(n, TopologyError)
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    shifts = tuple(int(s) for s in shifts)
+    if not shifts:
+        raise TopologyError("at least one shift is required")
+    if len(set(s % n for s in shifts)) != len(shifts):
+        raise TopologyError(f"duplicate shifts (mod n) in {shifts}")
+    for s in shifts:
+        if not 1 <= s < n:
+            raise TopologyError(f"shift {s} out of range [1, {n})")
+    directions = 2 if bidirectional else 1
+    per_edge = b / (len(shifts) * directions)
+    edges = []
+    for s in shifts:
+        for i in range(n):
+            edges.append((i, (i + s) % n, per_edge))
+            if bidirectional:
+                edges.append(((i + s) % n, i, per_edge))
+    return Topology(
+        n,
+        edges,
+        name=f"coprime_rings(n={n}, shifts={shifts})",
+        metadata={
+            "family": "coprime_rings",
+            "shifts": shifts,
+            "bidirectional": bidirectional,
+            "reference_rate": b,
+        },
+    )

@@ -1,0 +1,50 @@
+"""DGX-style multi-plane switched topology (paper §1: NVSwitch designs).
+
+Models a scale-up server in which every GPU attaches to ``n_planes``
+parallel switch planes, splitting its aggregate bandwidth evenly across
+them.  Each plane is a non-blocking crossbar, represented as a relay
+node: contention arises only on GPU-to-plane links, which is how
+NVSwitch fabrics behave at flow level.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_node_count, require_positive
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["dgx"]
+
+
+def dgx(n: int, node_bandwidth: float, n_planes: int = 4) -> Topology:
+    """Build an ``n``-GPU, ``n_planes``-plane switched domain.
+
+    Parameters
+    ----------
+    n:
+        Number of GPUs.
+    node_bandwidth:
+        Aggregate per-GPU bandwidth, split evenly over the planes.
+    n_planes:
+        Number of parallel switch planes (4 for DGX-1-like, 18 links
+        over 4 NVSwitches in DGX H100; the plane count only changes the
+        per-plane capacity at flow level).
+    """
+    n = require_node_count(n, TopologyError)
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    n_planes = int(n_planes)
+    if n_planes < 1:
+        raise TopologyError(f"n_planes must be >= 1, got {n_planes}")
+    per_plane = b / n_planes
+    edges: list[tuple[object, object, float]] = []
+    for plane in range(n_planes):
+        hub = f"plane{plane}"
+        for gpu in range(n):
+            edges.append((gpu, hub, per_plane))
+            edges.append((hub, gpu, per_plane))
+    return Topology(
+        n,
+        edges,
+        name=f"dgx(n={n}, planes={n_planes})",
+        metadata={"family": "dgx", "n_planes": n_planes, "reference_rate": b},
+    )

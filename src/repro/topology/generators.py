@@ -1,0 +1,84 @@
+"""Randomized topology generators for stress tests and ablations."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .._validation import require_node_count, require_positive
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["random_regular", "random_permutation_union"]
+
+
+def random_regular(
+    n: int, degree: int, node_bandwidth: float, seed: int | None = None
+) -> Topology:
+    """A random ``degree``-regular undirected graph, each edge carried in
+    both directions with the node bandwidth split over all directed links.
+
+    Jellyfish-style random graphs are a classic high-throughput baseline
+    (Singla et al., NSDI'14) and a useful contrast to structured rings.
+    """
+    n = require_node_count(n, TopologyError)
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    degree = int(degree)
+    if degree < 2 or degree >= n:
+        raise TopologyError(f"degree must be in [2, n), got {degree}")
+    if (n * degree) % 2 != 0:
+        raise TopologyError("n * degree must be even for a regular graph")
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    per_edge = b / degree
+    edges = []
+    for u, v in graph.edges():
+        edges.append((int(u), int(v), per_edge))
+        edges.append((int(v), int(u), per_edge))
+    return Topology(
+        n,
+        edges,
+        name=f"random_regular(n={n}, d={degree}, seed={seed})",
+        metadata={"family": "random_regular", "reference_rate": b},
+    )
+
+
+def random_permutation_union(
+    n: int, n_permutations: int, node_bandwidth: float, seed: int | None = None
+) -> Topology:
+    """A union of random derangement rings (degree = ``n_permutations``).
+
+    Models an OCS fabric whose ports were wired according to random
+    permutations; each permutation gets an equal share of the node
+    bandwidth.
+    """
+    n = require_node_count(n, TopologyError)
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    n_permutations = int(n_permutations)
+    if n_permutations < 1:
+        raise TopologyError("n_permutations must be >= 1")
+    rng = np.random.default_rng(seed)
+    per_edge = b / n_permutations
+    edges: list[tuple[int, int, float]] = []
+    seen: set[tuple[int, ...]] = set()
+    attempts = 0
+    while len(seen) < n_permutations:
+        attempts += 1
+        if attempts > 100 * n_permutations:
+            raise TopologyError(
+                "could not draw enough distinct derangements; "
+                "reduce n_permutations"
+            )
+        perm = rng.permutation(n)
+        if any(perm[i] == i for i in range(n)):
+            continue  # not a derangement; a port cannot loop to itself
+        key = tuple(int(x) for x in perm)
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.extend((i, int(perm[i]), per_edge) for i in range(n))
+    return Topology(
+        n,
+        edges,
+        name=f"random_permutation_union(n={n}, k={n_permutations}, seed={seed})",
+        metadata={"family": "random_permutation_union", "reference_rate": b},
+    )

@@ -1,0 +1,39 @@
+"""Hypercube topology: the natural substrate for XOR-pattern collectives.
+
+A ``log2(n)``-dimensional hypercube gives recursive doubling/halving
+one-hop neighbors at every step; it is the static topology these
+algorithms were designed for and a useful contrast to the ring in
+experiments.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_positive, require_power_of_two
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["hypercube"]
+
+
+def hypercube(n: int, node_bandwidth: float) -> Topology:
+    """Build a hypercube over ``n`` ranks (``n`` must be a power of two).
+
+    Each GPU's ``node_bandwidth`` is split evenly across its
+    ``log2(n)`` outgoing links.
+    """
+    n = require_power_of_two(n, "n", TopologyError)
+    if n < 2:
+        raise TopologyError("hypercube requires n >= 2")
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    dims = n.bit_length() - 1
+    per_edge = b / dims
+    edges = []
+    for i in range(n):
+        for bit in range(dims):
+            edges.append((i, i ^ (1 << bit), per_edge))
+    return Topology(
+        n,
+        edges,
+        name=f"hypercube(n={n})",
+        metadata={"family": "hypercube", "dims": dims, "reference_rate": b},
+    )

@@ -1,0 +1,71 @@
+"""Dense and degenerate reference topologies: full mesh, star, line.
+
+These are not realistic photonic scale-up fabrics (a full mesh needs
+``n-1`` ports per GPU) but serve as analytical extremes in tests and
+ablations: the full mesh upper-bounds any static design, the line
+lower-bounds the ring, and the star models a single central switch
+plane.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_node_count, require_positive
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["full_mesh", "star", "line"]
+
+
+def full_mesh(n: int, node_bandwidth: float) -> Topology:
+    """All-to-all direct circuits; each GPU splits its bandwidth over
+    ``n - 1`` egress links."""
+    n = require_node_count(n, TopologyError)
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    per_edge = b / (n - 1)
+    edges = [
+        (i, j, per_edge) for i in range(n) for j in range(n) if i != j
+    ]
+    return Topology(
+        n,
+        edges,
+        name=f"full_mesh(n={n})",
+        metadata={"family": "full_mesh", "reference_rate": b},
+    )
+
+
+def star(n: int, node_bandwidth: float, hub: str = "switch") -> Topology:
+    """Every GPU connects to one central relay node with its full port.
+
+    The relay (an electrical switch at flow level) is capacity-unbounded
+    internally; contention appears only on the GPU-to-hub links, which is
+    exactly the behaviour of a non-blocking switch plane.
+    """
+    n = require_node_count(n, TopologyError)
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+    edges: list[tuple[object, object, float]] = []
+    for i in range(n):
+        edges.append((i, hub, b))
+        edges.append((hub, i, b))
+    return Topology(
+        n,
+        edges,
+        name=f"star(n={n})",
+        metadata={"family": "star", "reference_rate": b},
+    )
+
+
+def line(n: int, link_bandwidth: float) -> Topology:
+    """An open bidirectional chain (a ring with one link removed)."""
+    n = require_node_count(n, TopologyError)
+    b = require_positive(link_bandwidth, "link_bandwidth", TopologyError)
+    per_direction = b / 2.0
+    edges = []
+    for i in range(n - 1):
+        edges.append((i, i + 1, per_direction))
+        edges.append((i + 1, i, per_direction))
+    return Topology(
+        n,
+        edges,
+        name=f"line(n={n})",
+        metadata={"family": "line", "reference_rate": b},
+    )

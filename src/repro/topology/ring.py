@@ -1,0 +1,61 @@
+"""Ring base topologies (the paper's evaluation default, §3.4).
+
+Each GPU owns a single transceiver of bandwidth ``b``.  Two variants:
+
+* **bidirectional** (default): the transceiver is split across the two
+  ring directions, so each directed edge carries ``b/2``.  This is the
+  natural substrate for pairwise-exchange collectives (recursive
+  halving/doubling, Swing).
+* **unidirectional**: the full ``b`` points clockwise; the realizable
+  configuration is exactly the shift-by-one permutation.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_node_count, require_positive
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["ring"]
+
+
+def ring(n: int, link_bandwidth: float, bidirectional: bool = True) -> Topology:
+    """Build a ring over ``n`` ranks from one ``link_bandwidth`` port each.
+
+    Parameters
+    ----------
+    n:
+        Number of GPU ranks.
+    link_bandwidth:
+        Transceiver bandwidth ``b`` in bits/second.  In the
+        bidirectional variant each direction receives ``b/2``.
+    bidirectional:
+        Split the port across both directions (default) or dedicate it
+        clockwise.
+    """
+    n = require_node_count(n, TopologyError)
+    b = require_positive(link_bandwidth, "link_bandwidth", TopologyError)
+    edges: list[tuple[int, int, float]] = []
+    if bidirectional:
+        per_direction = b / 2.0
+        for i in range(n):
+            edges.append((i, (i + 1) % n, per_direction))
+            edges.append(((i + 1) % n, i, per_direction))
+        fraction = 0.5
+    else:
+        for i in range(n):
+            edges.append((i, (i + 1) % n, b))
+        fraction = 1.0
+    direction = "bidirectional" if bidirectional else "unidirectional"
+    return Topology(
+        n,
+        edges,
+        name=f"ring(n={n}, {direction})",
+        metadata={
+            "family": "ring",
+            "bidirectional": bidirectional,
+            # per-direction capacity as a fraction of the reference rate b
+            "per_direction_fraction": fraction,
+            "reference_rate": b,
+        },
+    )

@@ -1,0 +1,81 @@
+"""k-dimensional torus topologies (classic scale-up substrates).
+
+A ``d1 x d2 x ... x dk`` torus connects each node to its two neighbors
+along every dimension.  Each GPU's aggregate bandwidth ``b`` is split
+evenly over its ``2k`` directed links, matching the single-fat-pipe
+budget used throughout the paper's architecture model (§3.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .._validation import require_positive
+from ..exceptions import TopologyError
+from .base import Topology
+
+__all__ = ["torus"]
+
+
+def _mixed_radix_index(coords: Sequence[int], dims: Sequence[int]) -> int:
+    index = 0
+    for coord, dim in zip(coords, dims):
+        index = index * dim + coord
+    return index
+
+
+def torus(dims: Sequence[int], node_bandwidth: float) -> Topology:
+    """Build a torus with the given dimension sizes.
+
+    Parameters
+    ----------
+    dims:
+        Dimension sizes, e.g. ``(8, 8)`` for an 8x8 2-D torus.  Every
+        dimension must be at least 2; dimensions of size 2 produce a
+        single (merged) bidirectional link pair.
+    node_bandwidth:
+        Total transceiver bandwidth per GPU, split evenly over its
+        directed links.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims:
+        raise TopologyError("torus requires at least one dimension")
+    if any(d < 2 for d in dims):
+        raise TopologyError(f"all torus dimensions must be >= 2, got {dims}")
+    b = require_positive(node_bandwidth, "node_bandwidth", TopologyError)
+
+    n = 1
+    for d in dims:
+        n *= d
+
+    # Out-degree per node: two directions per dimension, except that a
+    # dimension of size 2 has +1 == -1 and contributes a single neighbor.
+    out_degree = sum(1 if d == 2 else 2 for d in dims)
+    per_edge = b / out_degree
+
+    edges: list[tuple[int, int, float]] = []
+    for index in range(n):
+        # decode mixed-radix coordinates
+        coords = []
+        rem = index
+        for d in reversed(dims):
+            coords.append(rem % d)
+            rem //= d
+        coords.reverse()
+        for axis, d in enumerate(dims):
+            deltas = (1,) if d == 2 else (1, -1)
+            for delta in deltas:
+                neighbor = list(coords)
+                neighbor[axis] = (neighbor[axis] + delta) % d
+                edges.append((index, _mixed_radix_index(neighbor, dims), per_edge))
+
+    return Topology(
+        n,
+        edges,
+        name=f"torus{dims}",
+        metadata={
+            "family": "torus",
+            "dims": dims,
+            "reference_rate": b,
+        },
+    )

@@ -1,0 +1,176 @@
+"""Unit helpers for bits, bytes, time, and bandwidth.
+
+Every quantity inside :mod:`repro` uses base SI units:
+
+* time in **seconds**,
+* data in **bits**,
+* bandwidth in **bits per second**.
+
+The constructors in this module exist so that magic numbers never appear
+in library or experiment code: ``GiB(2)`` reads better than
+``17179869184`` and is far harder to get wrong.  Formatting helpers
+(:func:`format_time`, :func:`format_size`) are used by the ASCII
+reporting layer in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Data sizes (return bits)
+# ---------------------------------------------------------------------------
+
+BITS_PER_BYTE = 8
+
+
+def bits(value: float) -> float:
+    """Identity constructor, for symmetry with the other size helpers."""
+    return float(value)
+
+
+def bytes_(value: float) -> float:
+    """Bytes to bits."""
+    return float(value) * BITS_PER_BYTE
+
+
+def KB(value: float) -> float:
+    """Decimal kilobytes (1e3 bytes) to bits."""
+    return bytes_(value * 1e3)
+
+
+def MB(value: float) -> float:
+    """Decimal megabytes (1e6 bytes) to bits."""
+    return bytes_(value * 1e6)
+
+
+def GB(value: float) -> float:
+    """Decimal gigabytes (1e9 bytes) to bits."""
+    return bytes_(value * 1e9)
+
+
+def KiB(value: float) -> float:
+    """Binary kibibytes (2**10 bytes) to bits."""
+    return bytes_(value * 2**10)
+
+
+def MiB(value: float) -> float:
+    """Binary mebibytes (2**20 bytes) to bits."""
+    return bytes_(value * 2**20)
+
+
+def GiB(value: float) -> float:
+    """Binary gibibytes (2**30 bytes) to bits."""
+    return bytes_(value * 2**30)
+
+
+# ---------------------------------------------------------------------------
+# Time (return seconds)
+# ---------------------------------------------------------------------------
+
+
+def seconds(value: float) -> float:
+    """Identity constructor, for symmetry with the other time helpers."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return float(value) * 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth (return bits per second)
+# ---------------------------------------------------------------------------
+
+
+def bps(value: float) -> float:
+    """Identity constructor, for symmetry with the other rate helpers."""
+    return float(value)
+
+
+def Kbps(value: float) -> float:
+    """Kilobits per second to bits per second."""
+    return float(value) * 1e3
+
+
+def Mbps(value: float) -> float:
+    """Megabits per second to bits per second."""
+    return float(value) * 1e6
+
+
+def Gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return float(value) * 1e9
+
+
+def Tbps(value: float) -> float:
+    """Terabits per second to bits per second."""
+    return float(value) * 1e12
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers
+# ---------------------------------------------------------------------------
+
+_TIME_SCALE = (
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+)
+
+_SIZE_SCALE = (
+    (2**33.0, "GiB"),
+    (2**23.0, "MiB"),
+    (2**13.0, "KiB"),
+    (8.0, "B"),
+)
+
+_RATE_SCALE = (
+    (1e12, "Tbps"),
+    (1e9, "Gbps"),
+    (1e6, "Mbps"),
+    (1e3, "Kbps"),
+    (1.0, "bps"),
+)
+
+
+def _format_scaled(value: float, scale, digits: int) -> str:
+    if value == 0:
+        return f"0{scale[-1][1]}"
+    if math.isinf(value):
+        return "inf"
+    if math.isnan(value):
+        return "nan"
+    magnitude = abs(value)
+    for factor, suffix in scale:
+        if magnitude >= factor:
+            return f"{value / factor:.{digits}g}{suffix}"
+    factor, suffix = scale[-1]
+    return f"{value / factor:.{digits}g}{suffix}"
+
+
+def format_time(t: float, digits: int = 4) -> str:
+    """Render seconds with an auto-selected suffix, e.g. ``'10us'``."""
+    return _format_scaled(t, _TIME_SCALE, digits)
+
+
+def format_size(n_bits: float, digits: int = 4) -> str:
+    """Render a bit count with a binary-byte suffix, e.g. ``'4MiB'``."""
+    return _format_scaled(n_bits, _SIZE_SCALE, digits)
+
+
+def format_rate(rate: float, digits: int = 4) -> str:
+    """Render bits/second with a decimal suffix, e.g. ``'800Gbps'``."""
+    return _format_scaled(rate, _RATE_SCALE, digits)

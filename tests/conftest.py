@@ -1,0 +1,41 @@
+"""Shared fixtures: small domains that keep LP solves fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CostParameters
+from repro.topology import ring
+from repro.units import Gbps, ns, us
+
+
+@pytest.fixture
+def bandwidth():
+    return Gbps(800)
+
+
+@pytest.fixture
+def params(bandwidth):
+    """The paper's scalar setup with a mid-range reconfiguration delay."""
+    return CostParameters(
+        alpha=ns(100),
+        bandwidth=bandwidth,
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+    )
+
+
+@pytest.fixture
+def ring8(bandwidth):
+    """An 8-rank bidirectional ring (the default base topology family)."""
+    return ring(8, bandwidth)
+
+
+@pytest.fixture
+def ring16(bandwidth):
+    return ring(16, bandwidth)
+
+
+@pytest.fixture
+def directed_ring8(bandwidth):
+    return ring(8, bandwidth, bidirectional=False)

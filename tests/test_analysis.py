@@ -1,0 +1,184 @@
+"""Analysis layer: speedup grids, heatmaps, regimes, sweeps, propagation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    census,
+    compute_speedup_grid,
+    propagation_study,
+    render_grid,
+    render_shaded,
+    sweep_alpha_r,
+)
+from repro.collectives import make_collective
+from repro.core import CostParameters
+from repro.exceptions import ConfigurationError
+from repro.flows import ThroughputCache
+from repro.topology import ring
+from repro.units import Gbps, KiB, MiB, ns, us
+
+B = Gbps(800)
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(1)
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    cache = ThroughputCache()
+    return compute_speedup_grid(
+        lambda m: make_collective("allreduce_recursive_doubling", 8, m),
+        ring(8, B),
+        PARAMS,
+        message_sizes=(KiB(4), MiB(1), MiB(64)),
+        alpha_rs=(ns(100), us(10), us(1000)),
+        cache=cache,
+    )
+
+
+class TestSpeedupGrid:
+    def test_shape_and_labels(self, grid):
+        assert grid.opt.shape == (3, 3)
+        assert grid.algorithm == "allreduce_recursive_doubling"
+
+    def test_opt_bounded_by_baselines(self, grid):
+        assert (grid.opt <= grid.static + 1e-18).all()
+        assert (grid.opt <= grid.bvn + 1e-18).all()
+
+    def test_speedups_at_least_one(self, grid):
+        for comparator in ("static", "bvn", "best"):
+            assert (grid.speedup(comparator) >= 1.0 - 1e-12).all()
+
+    def test_monotone_trends(self, grid):
+        # vs BvN: speedup grows with alpha_r (per row)
+        vs_bvn = grid.speedup("bvn")
+        assert (np.diff(vs_bvn, axis=1) >= -1e-9).all()
+        # vs static at the cheapest alpha_r: speedup grows with message size
+        vs_static = grid.speedup("static")
+        assert vs_static[2, 0] >= vs_static[0, 0] - 1e-9
+
+    def test_unknown_comparator(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.speedup("magic")
+
+    def test_regime_codes(self, grid):
+        regimes = grid.regimes()
+        assert set(np.unique(regimes)) <= {"static", "bvn", "mixed"}
+        # corner checks: cheap reconfig + big message -> bvn;
+        # dear reconfig + small message -> static
+        assert regimes[2, 0] == "bvn"
+        assert regimes[0, 2] == "static"
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_speedup_grid(
+                lambda m: make_collective("alltoall", 4, m),
+                ring(4, B),
+                PARAMS,
+                message_sizes=(),
+                alpha_rs=(us(1),),
+            )
+
+
+class TestCensus:
+    def test_counts_sum(self, grid):
+        report = census(grid)
+        assert report.n_static + report.n_bvn + report.n_mixed == report.n_cells
+        assert report.max_speedup_vs_best >= 1.0
+        assert "cells" in report.summary()
+
+    def test_mixed_cells_listed(self, grid):
+        report = census(grid)
+        assert len(report.mixed_cells) == report.n_mixed
+
+
+class TestHeatmapRendering:
+    def test_numeric_grid_contains_labels(self, grid):
+        text = render_grid(
+            grid.speedup("bvn"), grid.message_sizes, grid.alpha_rs, title="T"
+        )
+        assert "T" in text
+        assert "4KiB" in text
+        assert "64MiB" in text
+        assert "10us" in text
+
+    def test_rows_largest_message_first(self, grid):
+        text = render_grid(grid.speedup("bvn"), grid.message_sizes, grid.alpha_rs)
+        lines = text.splitlines()
+        assert "64MiB" in lines[1]
+        assert "4KiB" in lines[-1]
+
+    def test_shaded_view_dimensions(self, grid):
+        text = render_shaded(
+            grid.speedup("static"), grid.message_sizes, grid.alpha_rs
+        )
+        body = [line for line in text.splitlines() if "|" in line]
+        assert len(body) == 3
+        assert all(line.count("|") == 2 for line in body)
+
+    def test_shading_monotone(self):
+        speedups = np.array([[1.0, 10.0, 1000.0]])
+        text = render_shaded(speedups, (KiB(1),), (ns(100), us(1), us(10)))
+        row = text.splitlines()[0]
+        cells = row.split("|")[1]
+        shades = " .:-=+*#%@"
+        assert shades.index(cells[0]) < shades.index(cells[1]) < shades.index(cells[2])
+
+
+class TestSweeps:
+    def test_alpha_r_sweep_monotone_matched_steps(self):
+        collective = make_collective("allreduce_recursive_doubling", 8, MiB(4))
+        records = sweep_alpha_r(
+            collective,
+            ring(8, B),
+            PARAMS,
+            alpha_rs=(ns(100), us(1), us(10), us(100), us(1000)),
+        )
+        matched = [r.n_matched_steps for r in records]
+        assert matched == sorted(matched, reverse=True)
+        for record in records:
+            assert record.opt_total <= record.static_total + 1e-18
+            assert record.opt_total <= record.bvn_total + 1e-18
+
+    def test_record_as_dict(self):
+        collective = make_collective("alltoall", 4, MiB(1))
+        record = sweep_alpha_r(collective, ring(4, B), PARAMS, (us(1),))[0]
+        data = record.as_dict()
+        assert data["parameter"] == "alpha_r"
+        assert data["opt_total"] > 0
+
+
+class TestPropagationStudy:
+    def test_static_delta_sensitivity_ordering(self):
+        records = propagation_study(
+            ["allreduce_ring", "allreduce_recursive_doubling", "allreduce_swing"],
+            16,
+            MiB(1),
+            ring(16, B),
+            PARAMS,
+            deltas=(ns(10), ns(1000)),
+        )
+        by_algo = {}
+        for record in records:
+            by_algo.setdefault(record.algorithm, []).append(record)
+
+        def growth(name):
+            return by_algo[name][1].static_total - by_algo[name][0].static_total
+
+        # A neat identity: ring and halving/doubling both traverse
+        # 2(n-1) total hops on a static ring (the XOR distances
+        # telescope), so their delta sensitivity coincides...
+        assert growth("allreduce_ring") == pytest.approx(
+            growth("allreduce_recursive_doubling")
+        )
+        # ...while Swing's Jacobsthal distances sum to ~2n/3 steps less,
+        # making it the least delta-sensitive of the three (its design
+        # goal: short-cutting rings).
+        assert growth("allreduce_swing") < growth("allreduce_recursive_doubling")
+
+    def test_opt_bounded_by_static(self):
+        records = propagation_study(
+            ["allreduce_swing"], 8, MiB(1), ring(8, B), PARAMS, deltas=(ns(100),)
+        )
+        assert all(r.opt_total <= r.static_total + 1e-18 for r in records)

@@ -1,0 +1,156 @@
+"""BvN machinery: doubly-stochastic checks, decompositions, Observation 1."""
+
+import numpy as np
+import pytest
+
+from repro.bvn import (
+    aggregate_demand,
+    birkhoff_decomposition,
+    decompose_demand,
+    is_doubly_stochastic,
+    is_doubly_substochastic,
+    is_scaled_doubly_stochastic,
+    reconstruct,
+    row_col_sums,
+    sinkhorn_scale,
+    verify_observation1,
+)
+from repro.collectives import make_collective
+from repro.exceptions import DecompositionError
+from repro.matching import Matching
+from repro.units import MiB
+
+
+def permutation_matrix(perm):
+    n = len(perm)
+    matrix = np.zeros((n, n))
+    for i, j in enumerate(perm):
+        matrix[i, j] = 1.0
+    return matrix
+
+
+class TestDoublyStochastic:
+    def test_row_col_sums(self):
+        rows, cols = row_col_sums(np.array([[0, 1.0], [1.0, 0]]))
+        assert rows.tolist() == [1.0, 1.0]
+        assert cols.tolist() == [1.0, 1.0]
+
+    def test_is_doubly_stochastic(self):
+        assert is_doubly_stochastic(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert not is_doubly_stochastic(np.array([[1.0, 0.5], [0.5, 0.5]]))
+
+    def test_scaled_variant(self):
+        assert is_scaled_doubly_stochastic(np.array([[0, 3.0], [3.0, 0]]))
+        assert not is_scaled_doubly_stochastic(np.zeros((2, 2)))
+
+    def test_substochastic(self):
+        assert is_doubly_substochastic(np.array([[0.2, 0.3], [0.1, 0.0]]))
+        assert not is_doubly_substochastic(np.array([[0.9, 0.3], [0.1, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DecompositionError):
+            row_col_sums(np.array([[0, -1.0], [1.0, 0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DecompositionError):
+            row_col_sums(np.ones((2, 3)))
+
+    def test_sinkhorn_converges(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(0.1, 1.0, size=(5, 5))
+        scaled = sinkhorn_scale(matrix)
+        assert is_doubly_stochastic(scaled, tol=1e-8)
+
+    def test_sinkhorn_zero_row_rejected(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(DecompositionError, match="zero row"):
+            sinkhorn_scale(matrix)
+
+
+class TestBirkhoff:
+    def test_single_permutation(self):
+        matrix = permutation_matrix([1, 2, 0])
+        terms = birkhoff_decomposition(matrix)
+        assert len(terms) == 1
+        assert terms[0].weight == pytest.approx(1.0)
+
+    def test_convex_combination_recovers(self):
+        p1 = permutation_matrix([1, 2, 3, 0])
+        p2 = permutation_matrix([3, 0, 1, 2])
+        p3 = permutation_matrix([2, 3, 0, 1])
+        matrix = 0.5 * p1 + 0.3 * p2 + 0.2 * p3
+        terms = birkhoff_decomposition(matrix)
+        rebuilt = reconstruct(terms, 4)
+        np.testing.assert_allclose(rebuilt, matrix, atol=1e-9)
+        assert len(terms) <= (4 - 1) ** 2 + 1
+
+    def test_requires_doubly_stochastic(self):
+        with pytest.raises(DecompositionError, match="decompose_demand"):
+            birkhoff_decomposition(np.array([[0, 1.0], [0.5, 0]]))
+
+    def test_scaled_input_allowed(self):
+        matrix = 5.0 * permutation_matrix([1, 0])
+        terms = birkhoff_decomposition(matrix)
+        assert terms[0].weight == pytest.approx(5.0)
+
+
+class TestDecomposeDemand:
+    def test_partial_demand(self):
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = 2.0
+        matrix[2, 3] = 1.0
+        terms = decompose_demand(matrix)
+        rebuilt = reconstruct(terms, 4)
+        np.testing.assert_allclose(rebuilt, matrix, atol=1e-9)
+
+    def test_zero_matrix(self):
+        assert decompose_demand(np.zeros((3, 3))) == []
+
+    def test_rejects_diagonal(self):
+        matrix = np.eye(3)
+        with pytest.raises(DecompositionError, match="zero diagonal"):
+            decompose_demand(matrix)
+
+    def test_reconstructs_collective_aggregate(self):
+        collective = make_collective("allreduce_recursive_doubling", 8, MiB(1))
+        aggregate = collective.aggregate_demand()
+        terms = decompose_demand(aggregate)
+        rebuilt = reconstruct(terms, 8)
+        np.testing.assert_allclose(rebuilt, aggregate, rtol=1e-9)
+
+
+class TestObservation1:
+    @pytest.mark.parametrize(
+        "name",
+        ["allreduce_ring", "allreduce_recursive_doubling", "allreduce_swing", "alltoall"],
+    )
+    def test_collectives_induce_bvn(self, name):
+        collective = make_collective(name, 8, MiB(1))
+        report = verify_observation1(collective.as_bvn_steps())
+        assert report.holds
+        assert report.reconstruction_error == pytest.approx(0.0, abs=1e-9)
+        # full-permutation steps => aggregate is scaled doubly stochastic
+        assert report.scaled_doubly_stochastic
+
+    def test_temporal_structure_not_captured(self):
+        # The matrix-level decomposition may use fewer terms than the
+        # algorithm has steps: the aggregate alone cannot express the
+        # data dependencies (paper: the reverse direction fails).
+        collective = make_collective("allreduce_ring", 8, MiB(1))
+        report = verify_observation1(collective.as_bvn_steps())
+        assert report.n_steps == 14
+        assert report.n_bvn_terms < report.n_steps
+
+    def test_aggregate_demand_shape(self):
+        steps = [(2.0, Matching.shift(4, 1)), (1.0, Matching.shift(4, 2))]
+        aggregate = aggregate_demand(steps)
+        assert aggregate[0, 1] == 2.0
+        assert aggregate[0, 2] == 1.0
+
+    def test_aggregate_demand_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_demand([])
+        with pytest.raises(ValueError):
+            aggregate_demand(
+                [(1.0, Matching.shift(4, 1)), (1.0, Matching.shift(6, 1))]
+            )

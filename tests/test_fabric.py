@@ -1,0 +1,166 @@
+"""Fabric models: reconfiguration delays, OCS, wavelength fabric."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.fabric import (
+    ConstantReconfigurationDelay,
+    OpticalCircuitSwitch,
+    PerPortReconfigurationDelay,
+    TableReconfigurationDelay,
+    Transceiver,
+    WavelengthSwitchedFabric,
+    configuration_from_matching,
+    configuration_from_topology,
+    touched_ports,
+)
+from repro.matching import Matching
+from repro.topology import ring, star
+from repro.units import Gbps, ns, us
+
+B = Gbps(800)
+
+
+class TestConfigurations:
+    def test_from_matching(self):
+        config = configuration_from_matching(Matching(4, [(0, 1), (2, 3)]))
+        assert config == frozenset({(0, 1), (2, 3)})
+
+    def test_from_topology(self):
+        config = configuration_from_topology(ring(4, B, bidirectional=False))
+        assert (0, 1) in config and (3, 0) in config
+
+    def test_relay_topology_rejected(self):
+        with pytest.raises(FabricError):
+            configuration_from_topology(star(4, B))
+
+    def test_touched_ports(self):
+        before = frozenset({(0, 1), (2, 3)})
+        after = frozenset({(0, 1), (2, 4)})
+        assert touched_ports(before, after) == frozenset({2, 3, 4})
+        assert touched_ports(before, before) == frozenset()
+
+
+class TestDelayModels:
+    def test_constant(self):
+        model = ConstantReconfigurationDelay(us(10))
+        a = frozenset({(0, 1)})
+        b = frozenset({(1, 0)})
+        assert model.delay(a, b) == pytest.approx(us(10))
+        assert model.delay(a, a) == 0.0
+        assert model.delay_for_ports(0) == 0.0
+
+    def test_per_port(self):
+        model = PerPortReconfigurationDelay(base=us(1), per_port=us(2))
+        assert model.delay_for_ports(3) == pytest.approx(us(7))
+        a = frozenset({(0, 1), (2, 3)})
+        b = frozenset({(0, 1), (3, 2)})
+        assert model.delay(a, b) == pytest.approx(us(1) + 2 * us(2))
+
+    def test_table(self):
+        model = TableReconfigurationDelay([(2, us(1)), (8, us(5))])
+        assert model.delay_for_ports(1) == pytest.approx(us(1))
+        assert model.delay_for_ports(2) == pytest.approx(us(1))
+        assert model.delay_for_ports(5) == pytest.approx(us(5))
+        assert model.delay_for_ports(64) == pytest.approx(us(5))
+
+    def test_table_validation(self):
+        with pytest.raises(FabricError):
+            TableReconfigurationDelay([])
+        with pytest.raises(FabricError):
+            TableReconfigurationDelay([(0, us(1))])
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(FabricError):
+            ConstantReconfigurationDelay(-1.0)
+        with pytest.raises(FabricError):
+            PerPortReconfigurationDelay(-1.0, 0.0)
+
+
+class TestOpticalCircuitSwitch:
+    def test_connect_and_route(self):
+        switch = OpticalCircuitSwitch(8, B, ConstantReconfigurationDelay(us(10)))
+        delay = switch.connect(Matching.shift(8, 1))
+        assert delay == pytest.approx(us(10))
+        assert switch.destination_of(0) == 1
+        assert switch.destination_of(7) == 0
+
+    def test_idempotent_connect_is_free(self):
+        switch = OpticalCircuitSwitch(8, B, ConstantReconfigurationDelay(us(10)))
+        switch.connect(Matching.shift(8, 1))
+        assert switch.connect(Matching.shift(8, 1)) == 0.0
+        assert switch.statistics.n_reconfigurations == 1
+
+    def test_statistics_accumulate(self):
+        switch = OpticalCircuitSwitch(8, B, ConstantReconfigurationDelay(us(10)))
+        switch.connect(Matching.shift(8, 1))
+        switch.connect(Matching.shift(8, 2))
+        assert switch.statistics.n_reconfigurations == 2
+        assert switch.statistics.total_reconfiguration_time == pytest.approx(us(20))
+
+    def test_as_topology(self):
+        switch = OpticalCircuitSwitch(8, B, initial=Matching.shift(8, 3))
+        topology = switch.as_topology()
+        assert topology.capacity(0, 3) == pytest.approx(B)
+        assert topology.metadata["family"] == "matched"
+
+    def test_partial_matching_reconfigures_involved_ports(self):
+        model = PerPortReconfigurationDelay(base=0.0, per_port=us(1))
+        switch = OpticalCircuitSwitch(8, B, model, initial=Matching(8, [(0, 1)]))
+        delay = switch.connect(Matching(8, [(0, 1), (2, 3)]))
+        assert delay == pytest.approx(us(2))  # only ports 2 and 3 touched
+
+    def test_validation(self):
+        with pytest.raises(FabricError):
+            OpticalCircuitSwitch(1, B)
+        switch = OpticalCircuitSwitch(4, B)
+        with pytest.raises(FabricError):
+            switch.connect(Matching.shift(8, 1))
+
+
+class TestWavelengthFabric:
+    def test_wavelength_assignment(self):
+        fabric = WavelengthSwitchedFabric(8, B, us(5))
+        assert fabric.wavelength_for(0, 3) == 3
+        assert fabric.wavelength_for(5, 2) == 5  # (2 - 5) mod 8
+
+    def test_wavelength_validation(self):
+        fabric = WavelengthSwitchedFabric(8, B, us(5))
+        with pytest.raises(FabricError):
+            fabric.wavelength_for(0, 0)
+        with pytest.raises(FabricError):
+            fabric.wavelength_for(0, 9)
+
+    def test_retune_delay_is_port_independent(self):
+        fabric = WavelengthSwitchedFabric(8, B, us(5))
+        assert fabric.connect(Matching.shift(8, 1)) == pytest.approx(us(5))
+        # full re-tune of all ports still costs one tuning time
+        assert fabric.connect(Matching.shift(8, 3)) == pytest.approx(us(5))
+
+    def test_identical_connect_free(self):
+        fabric = WavelengthSwitchedFabric(8, B, us(5))
+        fabric.connect(Matching.shift(8, 2))
+        assert fabric.connect(Matching.shift(8, 2)) == 0.0
+
+    def test_configuration_roundtrip(self):
+        fabric = WavelengthSwitchedFabric(8, B, us(5))
+        matching = Matching.xor_exchange(8, 4)
+        fabric.connect(matching)
+        assert fabric.configuration == configuration_from_matching(matching)
+        topology = fabric.as_topology()
+        assert topology.capacity(0, 4) == pytest.approx(B)
+
+
+class TestTransceiver:
+    def test_defaults_match_paper(self):
+        assert Transceiver().rate == pytest.approx(Gbps(800))
+
+    def test_transmission_time(self):
+        t = Transceiver(rate=Gbps(100))
+        assert t.transmission_time(1e9) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(FabricError):
+            Transceiver(rate=0)
+        with pytest.raises(FabricError):
+            Transceiver().transmission_time(-1)

@@ -1,0 +1,138 @@
+"""Multi-ported steps extension (paper §4 outlook)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CostParameters,
+    evaluate_multiport_step_costs,
+    evaluate_step_costs,
+    multiport_alltoall,
+    MultiPortStep,
+    optimize_schedule,
+    optimize_schedule_ilp,
+)
+from repro.collectives import make_collective
+from repro.exceptions import CollectiveError, ScheduleError
+from repro.matching import Matching
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(10)
+)
+
+
+class TestMultiPortStep:
+    def test_union_validation(self):
+        with pytest.raises(CollectiveError):
+            MultiPortStep(matchings=(), volume=1.0)
+        with pytest.raises(CollectiveError, match="two port matchings"):
+            MultiPortStep(
+                matchings=(Matching.shift(8, 1), Matching.shift(8, 1)),
+                volume=1.0,
+            )
+        with pytest.raises(CollectiveError, match="same rank count"):
+            MultiPortStep(
+                matchings=(Matching.shift(8, 1), Matching.shift(4, 1)),
+                volume=1.0,
+            )
+
+    def test_commodities_cover_union(self):
+        step = MultiPortStep(
+            matchings=(Matching.shift(8, 1), Matching.shift(8, 2)), volume=1.0
+        )
+        assert len(step.commodities()) == 16
+        assert step.ports_used == 2
+
+
+class TestMultiportAlltoall:
+    def test_step_count(self):
+        assert len(multiport_alltoall(16, MiB(1), 1)) == 15
+        assert len(multiport_alltoall(16, MiB(1), 2)) == 8
+        assert len(multiport_alltoall(16, MiB(1), 4)) == 4
+
+    def test_covers_all_shifts(self):
+        steps = multiport_alltoall(8, MiB(1), 3)
+        shifts = set()
+        for step in steps:
+            for matching in step.matchings:
+                for src, dst in matching:
+                    shifts.add((dst - src) % 8)
+        assert shifts == set(range(1, 8))
+
+    def test_validation(self):
+        with pytest.raises(CollectiveError):
+            multiport_alltoall(8, MiB(1), 0)
+
+
+class TestMultiportCosts:
+    def test_single_port_matches_regular_alltoall(self):
+        n = 8
+        topology = ring(n, B)
+        regular = evaluate_step_costs(
+            make_collective("alltoall", n, MiB(1)), topology, PARAMS, cache=None
+        )
+        multi = evaluate_multiport_step_costs(
+            multiport_alltoall(n, MiB(1), 1), topology, PARAMS, ports=1, cache=None
+        )
+        assert len(regular) == len(multi)
+        for a, b in zip(regular, multi):
+            assert a.base_cost(PARAMS) == pytest.approx(b.base_cost(PARAMS), rel=1e-6)
+            assert a.matched_cost(PARAMS) == pytest.approx(
+                b.matched_cost(PARAMS), rel=1e-9
+            )
+
+    def test_more_ports_fewer_steps_same_optimum_order(self):
+        """With ports the collective needs fewer barriers; the matched
+        total stays the same volume, so fewer alpha/alpha_r terms means
+        the multi-ported optimum is never worse."""
+        n = 16
+        topology = ring(n, B)
+        totals = {}
+        for ports in (1, 2, 4):
+            costs = evaluate_multiport_step_costs(
+                multiport_alltoall(n, MiB(8), ports),
+                topology,
+                PARAMS,
+                ports=ports,
+                cache=None,
+            )
+            totals[ports] = optimize_schedule(costs, PARAMS).cost.total
+        assert totals[2] <= totals[1] + 1e-15
+        assert totals[4] <= totals[2] + 1e-15
+
+    def test_dp_and_ilp_agree_on_multiport(self):
+        n = 8
+        costs = evaluate_multiport_step_costs(
+            multiport_alltoall(n, MiB(4), 2), ring(n, B), PARAMS, ports=2, cache=None
+        )
+        dp = optimize_schedule(costs, PARAMS)
+        ilp = optimize_schedule_ilp(costs, PARAMS)
+        assert dp.cost.total == pytest.approx(ilp.cost.total, rel=1e-9)
+
+    def test_matched_cost_scales_with_ports(self):
+        from repro.core import MultiPortStepCost
+
+        single = MultiPortStepCost(volume=MiB(1), theta=0.5, hops=2.0, ports=1)
+        dual = MultiPortStepCost(volume=MiB(1), theta=0.5, hops=2.0, ports=2)
+        assert dual.matched_cost(PARAMS) > single.matched_cost(PARAMS)
+
+    def test_port_budget_enforced(self):
+        step = MultiPortStep(
+            matchings=(Matching.shift(8, 1), Matching.shift(8, 2)), volume=1.0
+        )
+        with pytest.raises(ScheduleError, match="budget"):
+            evaluate_multiport_step_costs([step], ring(8, B), PARAMS, ports=1)
+
+    def test_disconnected_union_infinite(self):
+        from repro.topology import Topology
+
+        sparse = Topology(4, [(0, 1, B)])
+        step = MultiPortStep(matchings=(Matching(4, [(2, 3)]),), volume=1.0)
+        costs = evaluate_multiport_step_costs(
+            [step], sparse, PARAMS, ports=1, cache=None
+        )
+        assert math.isinf(costs[0].base_cost(PARAMS))

@@ -1,0 +1,130 @@
+"""Integration tests: the paper's §3.4 claims at reduced scale.
+
+These tests run the actual experiment harness (n=16 ring, the paper's
+scalars otherwise) and assert the *shape* of the results the paper
+reports: where each strategy wins, by how much, and the existence of
+the transitional regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import census
+from repro.collectives import make_collective, verify_collective
+from repro.core import (
+    CostParameters,
+    evaluate_step_costs,
+    optimize_schedule,
+)
+from repro.experiments import PaperConfig, panel_by_id, run_panel
+from repro.experiments.config import FIGURE2_PANEL
+from repro.flows import ThroughputCache
+from repro.topology import ring
+from repro.units import Gbps, GiB, KiB, MiB, ns, us
+
+
+CONFIG = PaperConfig(
+    n=16,
+    message_sizes=(KiB(1), KiB(64), MiB(4), MiB(256), GiB(4)),
+    alpha_rs=(ns(100), us(1), us(10), us(100), us(1000), us(10000)),
+)
+CACHE = ThroughputCache()
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {
+        p: run_panel(panel_by_id(p), config=CONFIG, cache=CACHE)
+        for p in "aeg"
+    } | {"fig2": run_panel(FIGURE2_PANEL, config=CONFIG, cache=CACHE)}
+
+
+class TestFigure1Claims:
+    def test_orders_of_magnitude_over_bvn_at_high_delay_small_messages(
+        self, panels
+    ):
+        """§3.4: 'significant performance gains (up to orders of
+        magnitude) over BvN schedules appear when reconfiguration delay
+        is high or message sizes are small'."""
+        speedups = panels["a"].speedups()
+        assert speedups[0, -1] >= 100  # smallest message, largest delay
+        assert speedups[-1, 0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_wide_margin_over_static_at_low_delay_large_messages(self, panels):
+        """§3.4: 'substantial speedup [over static] when reconfiguration
+        delay is low and message sizes are large'."""
+        speedups = panels["e"].speedups()
+        assert speedups[-1, 0] > 3
+        assert speedups[0, -1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_speedup_gradients_have_paper_orientation(self, panels):
+        vs_bvn = panels["a"].speedups()
+        # increases left->right (alpha_r) and decreases with message size
+        assert (np.diff(vs_bvn, axis=1) >= -1e-9).all()
+        assert vs_bvn[0, -1] >= vs_bvn[-1, -1]
+        vs_static = panels["e"].speedups()
+        assert (np.diff(vs_static, axis=1) <= 1e-9).all()
+        assert vs_static[-1, 0] >= vs_static[0, 0]
+
+    def test_swing_less_reconfiguration_hungry_than_rd(self, panels):
+        """Swing's ring-friendly distances lower the static penalty, so
+        reconfiguring buys less than it does for recursive doubling."""
+        rd = panels["e"].census.max_speedup_vs_static
+        swing = panels["g"].census.max_speedup_vs_static
+        assert swing < rd
+
+
+class TestFigure2Claims:
+    def test_transitional_regime_exists(self, panels):
+        """§3.4: 'there is also a transitional regime ... where our
+        optimized schedules outperform both static and naive BvN'."""
+        report = panels["fig2"].census
+        assert report.has_transitional_band
+        assert report.max_speedup_vs_best > 1.05
+
+    def test_corners_match_pure_strategies(self, panels):
+        speedups = panels["fig2"].speedups()
+        # cheap reconfig + large message: OPT == BvN == best
+        assert speedups[-1, 0] == pytest.approx(1.0, abs=1e-9)
+        # dear reconfig + small message: OPT == static == best
+        assert speedups[0, -1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_band_is_diagonalish(self, panels):
+        """Mixed cells concentrate along the alpha_r/message diagonal:
+        with rows sorted by size there is at most one contiguous run of
+        mixed cells per row, and its column position moves right
+        (weakly) as messages grow."""
+        grid = panels["fig2"].grid
+        regimes = grid.regimes()
+        runs = []
+        for row in range(regimes.shape[0]):
+            columns = np.where(regimes[row] == "mixed")[0]
+            if len(columns):
+                assert columns.max() - columns.min() == len(columns) - 1
+                runs.append((row, columns.mean()))
+        assert len(runs) >= 2
+        positions = [c for _, c in sorted(runs)]
+        assert all(b >= a - 1e-9 for a, b in zip(positions, positions[1:]))
+
+
+class TestEndToEndPipeline:
+    def test_full_pipeline_with_verification(self):
+        """Collective -> semantics proof -> costs -> OPT -> claims."""
+        n = 16
+        collective = make_collective("allreduce_swing", n, MiB(64))
+        verify_collective(collective)
+        params = CostParameters(
+            alpha=ns(100),
+            bandwidth=Gbps(800),
+            delta=ns(100),
+            reconfiguration_delay=us(10),
+        )
+        costs = evaluate_step_costs(collective, ring(n, Gbps(800)), params, cache=CACHE)
+        result = optimize_schedule(costs, params)
+        assert result.cost.total > 0
+        assert result.cost.n_reconfigurations <= collective.num_steps
+
+    def test_census_is_exhaustive(self, panels):
+        for result in panels.values():
+            report = census(result.grid)
+            assert report.n_cells == len(CONFIG.message_sizes) * len(CONFIG.alpha_rs)

@@ -1,0 +1,260 @@
+"""Flow-level simulator: event queue, rates, timeline, and the
+simulator-equals-analytic-model anchor invariant."""
+
+import math
+
+import pytest
+
+from repro.collectives import make_collective
+from repro.core import (
+    CostParameters,
+    Schedule,
+    evaluate_schedule,
+    evaluate_step_costs,
+    optimize_schedule,
+)
+from repro.exceptions import SimulationError
+from repro.fabric import PerPortReconfigurationDelay
+from repro.matching import Matching
+from repro.sim import (
+    EventKind,
+    EventQueue,
+    FlowLevelSimulator,
+    allocate_rates,
+    simulate,
+)
+from repro.topology import ring, star
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+
+
+def make_params(alpha_r=us(10)):
+    return CostParameters(
+        alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=alpha_r
+    )
+
+
+class TestEventQueue:
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(1.0, lambda: order.append("b"))
+        queue.schedule(0.5, lambda: order.append("c"))
+        queue.run()
+        assert order == ["c", "a", "b"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda: None)
+        assert queue.run() == 2.0
+        assert queue.now == 2.0
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        queue = EventQueue()
+        queue.schedule_after(1.5, lambda: None)
+        assert queue.run() == 1.5
+        with pytest.raises(SimulationError):
+            queue.schedule_after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        queue = EventQueue()
+        hits = []
+        queue.schedule(1.0, lambda: hits.append(1))
+        queue.schedule(5.0, lambda: hits.append(5))
+        queue.run(until=2.0)
+        assert hits == [1]
+        assert len(queue) == 1
+
+
+class TestRateAllocation:
+    def test_mcf_rates_match_theta(self):
+        topology = ring(8, B)
+        matching = Matching.shift(8, 2)
+        flows = allocate_rates(topology, matching, B, method="mcf", cache=None)
+        expected = 0.5 * 8 / (2 * 6) * B
+        assert all(f.rate == pytest.approx(expected) for f in flows)
+
+    def test_maxmin_rates_feasible(self):
+        topology = ring(8, B)
+        matching = Matching.xor_exchange(8, 2)
+        flows = allocate_rates(topology, matching, B, method="maxmin")
+        loads = {}
+        for flow in flows:
+            path = topology.shortest_path(flow.src, flow.dst)
+            for edge in zip(path, path[1:]):
+                loads[edge] = loads.get(edge, 0.0) + flow.rate
+        for (u, v), load in loads.items():
+            assert load <= topology.capacity(u, v) * (1 + 1e-9)
+
+    def test_maxmin_on_uniform_shift_saturates(self):
+        topology = ring(8, B)
+        flows = allocate_rates(topology, Matching.shift(8, 1), B, method="maxmin")
+        assert all(f.rate == pytest.approx(B / 2) for f in flows)
+
+    def test_equal_share(self):
+        topology = ring(8, B)
+        flows = allocate_rates(topology, Matching.shift(8, 2), B, method="equal")
+        # shortest-path only, 2 flows share each clockwise edge of b/2
+        assert all(f.rate == pytest.approx(B / 4) for f in flows)
+
+    def test_empty_matching(self):
+        assert allocate_rates(ring(4, B), Matching.identity(4), B) == ()
+
+    def test_unknown_method(self):
+        with pytest.raises(SimulationError):
+            allocate_rates(ring(4, B), Matching.shift(4, 1), B, method="tcp")
+
+
+class TestSimulatorEqualsModel:
+    @pytest.mark.parametrize(
+        "name", ["allreduce_recursive_doubling", "allreduce_swing", "alltoall"]
+    )
+    @pytest.mark.parametrize("bits", ["static", "bvn", "opt"])
+    def test_exact_agreement(self, name, bits):
+        n = 8
+        collective = make_collective(name, n, MiB(2))
+        topology = ring(n, B)
+        params = make_params(us(5))
+        costs = evaluate_step_costs(collective, topology, params)
+        if bits == "static":
+            schedule = Schedule.static(collective.num_steps)
+        elif bits == "bvn":
+            schedule = Schedule.always_reconfigure(collective.num_steps)
+        else:
+            schedule = optimize_schedule(costs, params).schedule
+        analytic = evaluate_schedule(costs, schedule, params)
+        simulator = FlowLevelSimulator(topology, params)
+        result = simulator.run(collective, schedule)
+        assert result.total_time == pytest.approx(analytic.total, rel=1e-12)
+        assert result.n_reconfigurations == analytic.n_reconfigurations
+
+    def test_runner_checks_model(self):
+        collective = make_collective("allreduce_swing", 8, MiB(2))
+        report = simulate(collective, ring(8, B), make_params())
+        assert report.model_error < 1e-12
+        assert report.speedup_vs_static >= 1.0 - 1e-12
+        assert report.speedup_vs_bvn >= 1.0 - 1e-12
+
+
+class TestSimulatorBehaviour:
+    def test_trace_structure(self):
+        collective = make_collective("alltoall", 8, MiB(1))
+        params = make_params()
+        simulator = FlowLevelSimulator(ring(8, B), params)
+        result = simulator.run(
+            collective, Schedule.always_reconfigure(collective.num_steps)
+        )
+        starts = result.trace.of_kind(EventKind.STEP_START)
+        ends = result.trace.of_kind(EventKind.STEP_END)
+        assert len(starts) == len(ends) == collective.num_steps
+        assert result.trace.of_kind(EventKind.COLLECTIVE_END)
+        assert result.trace.reconfiguration_time() == pytest.approx(
+            result.reconfiguration_time
+        )
+
+    def test_physical_accounting_skips_identical_configs(self):
+        # ring allreduce repeats the same matched pattern every step
+        collective = make_collective("allreduce_ring", 8, MiB(8))
+        params = make_params(us(10))
+        paper = FlowLevelSimulator(ring(8, B), params, accounting="paper")
+        physical = FlowLevelSimulator(ring(8, B), params, accounting="physical")
+        schedule = Schedule.always_reconfigure(collective.num_steps)
+        paper_result = paper.run(collective, schedule)
+        physical_result = physical.run(collective, schedule)
+        assert physical_result.n_reconfigurations == 1
+        assert physical_result.total_time < paper_result.total_time
+
+    def test_physical_accounting_with_per_port_model(self):
+        collective = make_collective("allreduce_recursive_doubling", 8, MiB(1))
+        params = make_params(us(10))
+        simulator = FlowLevelSimulator(
+            ring(8, B),
+            params,
+            accounting="physical",
+            reconfiguration_model=PerPortReconfigurationDelay(us(1), ns(100)),
+        )
+        result = simulator.run(
+            collective, Schedule.always_reconfigure(collective.num_steps)
+        )
+        assert result.reconfiguration_time > 0
+
+    def test_physical_accounting_rejects_relay_base(self):
+        params = make_params()
+        with pytest.raises(SimulationError):
+            FlowLevelSimulator(star(8, B), params, accounting="physical")
+
+    def test_maxmin_never_beats_mcf(self):
+        collective = make_collective("allreduce_recursive_doubling", 8, MiB(4))
+        params = make_params(us(1))
+        schedule = Schedule.static(collective.num_steps)
+        mcf = FlowLevelSimulator(ring(8, B), params, rate_method="mcf")
+        maxmin = FlowLevelSimulator(ring(8, B), params, rate_method="maxmin")
+        t_mcf = mcf.run(collective, schedule).total_time
+        t_maxmin = maxmin.run(collective, schedule).total_time
+        assert t_maxmin >= t_mcf - 1e-15
+
+    def test_compute_overlap_reduces_total(self):
+        collective = make_collective("allreduce_swing", 8, MiB(1))
+        # attach compute to every step
+        from repro.collectives import Collective, Step
+
+        steps = [
+            Step(
+                matching=s.matching,
+                volume=s.volume,
+                transfers=s.transfers,
+                compute_time=us(30),
+                label=s.label,
+            )
+            for s in collective.steps
+        ]
+        with_compute = Collective(
+            collective.name,
+            collective.kind,
+            collective.n,
+            collective.message_size,
+            steps,
+            collective.chunk_size,
+            collective.n_chunks,
+        )
+        params = make_params(us(20))
+        simulator = FlowLevelSimulator(ring(8, B), params)
+        schedule = Schedule.always_reconfigure(with_compute.num_steps)
+        serial = simulator.run(with_compute, schedule, compute_overlap=False)
+        overlapped = simulator.run(with_compute, schedule, compute_overlap=True)
+        assert overlapped.total_time < serial.total_time
+
+    def test_schedule_length_mismatch(self):
+        collective = make_collective("alltoall", 8, MiB(1))
+        simulator = FlowLevelSimulator(ring(8, B), make_params())
+        with pytest.raises(SimulationError):
+            simulator.run(collective, Schedule.static(3))
+
+    def test_rank_mismatch(self):
+        collective = make_collective("alltoall", 4, MiB(1))
+        simulator = FlowLevelSimulator(ring(8, B), make_params())
+        with pytest.raises(SimulationError):
+            simulator.run(collective, Schedule.static(collective.num_steps))
+
+    def test_unknown_accounting(self):
+        with pytest.raises(SimulationError):
+            FlowLevelSimulator(ring(8, B), make_params(), accounting="free")
+
+    def test_zero_volume_collective(self):
+        from repro.collectives import barrier_dissemination
+
+        barrier = barrier_dissemination(8)
+        params = make_params(us(1))
+        report = simulate(barrier, ring(8, B), params)
+        # barrier time = steps * alpha + propagation only
+        assert report.simulation.total_time > 0
+        assert math.isfinite(report.simulation.total_time)

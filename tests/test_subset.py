@@ -1,0 +1,84 @@
+"""Collectives over GPU subsets (paper §3.1 embedding)."""
+
+import pytest
+
+from repro.collectives import embed_collective, make_collective, verify_collective
+from repro.core import CostParameters, evaluate_step_costs, optimize_schedule
+from repro.exceptions import CollectiveError
+from repro.fabric import (
+    PerPortReconfigurationDelay,
+    configuration_from_matching,
+)
+from repro.topology import ring
+from repro.units import Gbps, MiB, ns, us
+
+B = Gbps(800)
+PARAMS = CostParameters(
+    alpha=ns(100), bandwidth=B, delta=ns(100), reconfiguration_delay=us(10)
+)
+
+
+class TestEmbedding:
+    def test_rank_remap(self):
+        inner = make_collective("allreduce_recursive_doubling", 4, MiB(1))
+        embedded = embed_collective(inner, [1, 3, 5, 7], 16)
+        assert embedded.n == 16
+        assert embedded.num_steps == inner.num_steps
+        for step, inner_step in zip(embedded.steps, inner.steps):
+            assert len(step.matching) == len(inner_step.matching)
+            for src, dst in step.matching:
+                assert src in {1, 3, 5, 7} and dst in {1, 3, 5, 7}
+
+    def test_semantics_verified_via_inner(self):
+        inner = make_collective("allreduce_swing", 8, MiB(1))
+        embedded = embed_collective(inner, list(range(8, 16)), 32)
+        report = verify_collective(embedded)
+        assert report.kind == "embedded"
+
+    def test_validation(self):
+        inner = make_collective("alltoall", 4, MiB(1))
+        with pytest.raises(CollectiveError, match="duplicate"):
+            embed_collective(inner, [0, 0, 1, 2], 8)
+        with pytest.raises(CollectiveError, match="embedding ranks"):
+            embed_collective(inner, [0, 1, 2], 8)
+        with pytest.raises(CollectiveError, match="smaller"):
+            embed_collective(inner, [0, 1, 2, 3], 3)
+        with pytest.raises(CollectiveError, match="out of range"):
+            embed_collective(inner, [0, 1, 2, 9], 8)
+
+    def test_subset_on_big_ring_is_schedulable(self):
+        """An 8-GPU allreduce on contiguous ports of a 32-GPU ring."""
+        inner = make_collective("allreduce_recursive_doubling", 8, MiB(16))
+        embedded = embed_collective(inner, list(range(8)), 32)
+        topology = ring(32, B)
+        costs = evaluate_step_costs(embedded, topology, PARAMS, cache=None)
+        result = optimize_schedule(costs, PARAMS)
+        assert result.cost.total > 0
+        # contiguous placement keeps paths inside the segment
+        assert all(c.hops <= 8 for c in costs)
+
+    def test_scattered_placement_costs_more_statically(self):
+        """Scattered ports stretch ring paths; matched topologies do
+        not care (the interconnect gives direct circuits either way)."""
+        inner = make_collective("allreduce_recursive_doubling", 8, MiB(16))
+        contiguous = embed_collective(inner, list(range(8)), 32)
+        scattered = embed_collective(inner, [0, 4, 8, 12, 16, 20, 24, 28], 32)
+        topology = ring(32, B)
+        near = evaluate_step_costs(contiguous, topology, PARAMS, cache=None)
+        far = evaluate_step_costs(scattered, topology, PARAMS, cache=None)
+        from repro.core import static_cost
+
+        assert static_cost(far, PARAMS).total > static_cost(near, PARAMS).total
+        # matched costs are placement-independent
+        for a, b in zip(near, far):
+            assert a.matched_cost(PARAMS) == pytest.approx(b.matched_cost(PARAMS))
+
+    def test_partial_reconfiguration_touches_only_involved_ports(self):
+        """Per-port delay models charge only the subset's ports."""
+        inner = make_collective("allreduce_recursive_doubling", 4, MiB(1))
+        embedded = embed_collective(inner, [0, 1, 2, 3], 64)
+        model = PerPortReconfigurationDelay(base=0.0, per_port=us(1))
+        step = embedded.steps[0]
+        config = configuration_from_matching(step.matching)
+        delay = model.delay(frozenset(), config)
+        assert delay == pytest.approx(us(4))  # 4 ports, not 64

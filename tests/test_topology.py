@@ -1,0 +1,264 @@
+"""Topology substrate: construction, queries, audits, constructors."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.matching import Matching
+from repro.topology import (
+    Topology,
+    coprime_rings,
+    default_coprime_shifts,
+    dgx,
+    full_mesh,
+    hypercube,
+    line,
+    matched_topology,
+    multi_matched_topology,
+    random_permutation_union,
+    random_regular,
+    ring,
+    star,
+    torus,
+)
+from repro.units import Gbps
+
+B = Gbps(800)
+
+
+class TestTopologyBase:
+    def test_parallel_edges_merge(self):
+        t = Topology(2, [(0, 1, 10.0), (0, 1, 5.0)])
+        assert t.capacity(0, 1) == 15.0
+        assert t.num_edges == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            Topology(2, [(0, 0, 1.0)])
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 1, 0.0)])
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 1, -1.0)])
+
+    def test_missing_edge_raises(self):
+        t = Topology(3, [(0, 1, 1.0)])
+        with pytest.raises(TopologyError, match="no edge"):
+            t.capacity(1, 0)
+
+    def test_hop_distance_and_paths(self):
+        t = ring(6, B, bidirectional=False)
+        assert t.hop_distance(0, 3) == 3
+        assert t.hop_distance(3, 0) == 3  # around the directed ring
+        assert t.hop_distance(2, 2) == 0
+        assert t.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_unreachable_raises(self):
+        t = Topology(3, [(0, 1, 1.0)])
+        assert not t.has_path(1, 2)
+        with pytest.raises(TopologyError, match="no path"):
+            t.hop_distance(1, 2)
+
+    def test_fingerprint_name_independent(self):
+        a = Topology(3, [(0, 1, 1.0), (1, 2, 2.0)], name="x")
+        b = Topology(3, [(1, 2, 2.0), (0, 1, 1.0)], name="y")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_capacity_accounting(self):
+        t = ring(4, B)
+        assert t.out_capacity(0) == pytest.approx(B)
+        assert t.in_capacity(0) == pytest.approx(B)
+        assert t.out_degree(0) == 2
+
+    def test_supports_matching(self):
+        t = ring(6, B)
+        assert t.supports(Matching.shift(6, 2))
+        sparse = Topology(6, [(0, 1, 1.0)])
+        assert not sparse.supports(Matching.shift(6, 1))
+
+    def test_scaled(self):
+        t = ring(4, B).scaled(2.0)
+        assert t.capacity(0, 1) == pytest.approx(B)
+
+    def test_union_adds_capacity(self):
+        a = ring(4, B, bidirectional=False)
+        b = ring(4, B, bidirectional=False)
+        u = a.union(b)
+        assert u.capacity(0, 1) == pytest.approx(2 * B)
+
+    def test_union_rank_mismatch(self):
+        with pytest.raises(TopologyError):
+            ring(4, B).union(ring(6, B))
+
+    def test_diameter(self):
+        assert ring(8, B).diameter_over_ranks() == 4
+        assert ring(8, B, bidirectional=False).diameter_over_ranks() == 7
+
+
+class TestRing:
+    def test_bidirectional_splits_bandwidth(self):
+        t = ring(8, B)
+        assert t.capacity(0, 1) == pytest.approx(B / 2)
+        assert t.capacity(1, 0) == pytest.approx(B / 2)
+
+    def test_unidirectional_full_bandwidth(self):
+        t = ring(8, B, bidirectional=False)
+        assert t.capacity(0, 1) == pytest.approx(B)
+        assert not t.has_edge(1, 0)
+
+    def test_metadata(self):
+        t = ring(8, B)
+        assert t.metadata["family"] == "ring"
+        assert t.metadata["per_direction_fraction"] == 0.5
+
+    def test_realizability_audit(self):
+        # one port cannot host the bidirectional ring's two circuits
+        with pytest.raises(TopologyError):
+            ring(8, B).validate_realizable(ports_per_rank=1)
+        ring(8, B).validate_realizable(ports_per_rank=2, port_rate=B / 2)
+        ring(8, B, bidirectional=False).validate_realizable(
+            ports_per_rank=1, port_rate=B
+        )
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(1, B)
+
+
+class TestTorus:
+    def test_2d_torus_shape(self):
+        t = torus((4, 4), B)
+        assert t.n_ranks == 16
+        assert t.out_degree(0) == 4
+        assert t.capacity(0, 1) == pytest.approx(B / 4)
+
+    def test_dimension_of_two_merges(self):
+        t = torus((2, 4), B)
+        assert t.out_degree(0) == 3  # 1 (dim of size 2) + 2
+
+    def test_1d_torus_is_a_ring(self):
+        t = torus((6,), B)
+        assert t.out_degree(0) == 2
+        assert t.hop_distance(0, 3) == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(TopologyError):
+            torus((), B)
+        with pytest.raises(TopologyError):
+            torus((1, 4), B)
+
+    def test_wraparound(self):
+        t = torus((4, 4), B)
+        # node 0 = (0,0); (3,0) = index 12 is a neighbor via wraparound
+        assert t.has_edge(0, 12)
+
+
+class TestHypercube:
+    def test_structure(self):
+        t = hypercube(8, B)
+        assert t.out_degree(0) == 3
+        assert t.capacity(0, 4) == pytest.approx(B / 3)
+        assert t.hop_distance(0, 7) == 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TopologyError):
+            hypercube(6, B)
+
+
+class TestMeshStarLineDgx:
+    def test_full_mesh(self):
+        t = full_mesh(5, B)
+        assert t.num_edges == 20
+        assert t.capacity(0, 4) == pytest.approx(B / 4)
+        assert t.diameter_over_ranks() == 1
+
+    def test_star_uses_relay(self):
+        t = star(6, B)
+        assert t.relay_nodes == ("switch",)
+        assert t.hop_distance(0, 5) == 2
+
+    def test_line_has_no_wraparound(self):
+        t = line(5, B)
+        assert not t.has_edge(4, 0)
+        assert t.hop_distance(0, 4) == 4
+
+    def test_dgx_planes(self):
+        t = dgx(8, B, n_planes=4)
+        assert len(t.relay_nodes) == 4
+        assert t.out_capacity(0) == pytest.approx(B)
+        assert t.hop_distance(0, 7) == 2
+
+    def test_dgx_rejects_bad_planes(self):
+        with pytest.raises(TopologyError):
+            dgx(8, B, n_planes=0)
+
+
+class TestCoprimeRings:
+    def test_default_shifts(self):
+        assert default_coprime_shifts(8, 2) == (1, 3)
+        assert default_coprime_shifts(9, 2) == (1, 2)
+
+    def test_default_shifts_exhaustion(self):
+        with pytest.raises(TopologyError):
+            default_coprime_shifts(4, 5)
+
+    def test_union_capacity_split(self):
+        t = coprime_rings(8, (1, 3), B)
+        assert t.capacity(0, 1) == pytest.approx(B / 2)
+        assert t.capacity(0, 3) == pytest.approx(B / 2)
+        assert t.out_capacity(0) == pytest.approx(B)
+
+    def test_duplicate_shift_rejected(self):
+        with pytest.raises(TopologyError):
+            coprime_rings(8, (1, 1), B)
+
+    def test_bidirectional(self):
+        t = coprime_rings(8, (3,), B, bidirectional=True)
+        assert t.has_edge(3, 0)
+        assert t.capacity(0, 3) == pytest.approx(B / 2)
+
+
+class TestMatchedTopology:
+    def test_dedicated_circuits(self):
+        m = Matching.xor_exchange(8, 1)
+        t = matched_topology(m, B)
+        assert t.capacity(0, 1) == pytest.approx(B)
+        assert t.out_degree(0) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            matched_topology(Matching.identity(4), B)
+
+    def test_multi_matched_union(self):
+        t = multi_matched_topology(
+            [Matching.shift(6, 1), Matching.shift(6, 2)], B
+        )
+        assert t.out_degree(0) == 2
+        assert t.capacity(0, 1) == pytest.approx(B)
+
+
+class TestGenerators:
+    def test_random_regular_degree(self):
+        t = random_regular(10, 3, B, seed=7)
+        for node in range(10):
+            assert t.out_degree(node) == 3
+            assert t.out_capacity(node) == pytest.approx(B)
+
+    def test_random_regular_seed_reproducible(self):
+        a = random_regular(10, 3, B, seed=1)
+        b = random_regular(10, 3, B, seed=1)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_random_regular_validation(self):
+        with pytest.raises(TopologyError):
+            random_regular(10, 1, B)
+        with pytest.raises(TopologyError):
+            random_regular(5, 3, B)  # odd n * d
+
+    def test_random_permutation_union(self):
+        t = random_permutation_union(8, 3, B, seed=3)
+        for node in range(8):
+            # Overlapping derangements merge into fatter edges, so the
+            # degree may drop below k, but capacity is conserved.
+            assert 1 <= t.out_degree(node) <= 3
+            assert t.out_capacity(node) == pytest.approx(B)

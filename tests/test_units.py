@@ -1,0 +1,76 @@
+"""Units module: conversions and formatting."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_bytes_to_bits(self):
+        assert units.bytes_(1) == 8
+
+    def test_decimal_prefixes(self):
+        assert units.KB(1) == 8e3
+        assert units.MB(1) == 8e6
+        assert units.GB(1) == 8e9
+
+    def test_binary_prefixes(self):
+        assert units.KiB(1) == 8 * 1024
+        assert units.MiB(1) == 8 * 1024**2
+        assert units.GiB(1) == 8 * 1024**3
+
+    def test_bits_identity(self):
+        assert units.bits(42.5) == 42.5
+
+    def test_fractional_sizes(self):
+        assert units.KiB(0.5) == 4 * 1024
+
+
+class TestTime:
+    def test_subsecond_units(self):
+        assert units.ms(1) == pytest.approx(1e-3)
+        assert units.us(1) == pytest.approx(1e-6)
+        assert units.ns(1) == pytest.approx(1e-9)
+
+    def test_seconds_identity(self):
+        assert units.seconds(2.5) == 2.5
+
+    def test_composition(self):
+        assert units.us(1000) == pytest.approx(units.ms(1))
+
+
+class TestRates:
+    def test_rate_prefixes(self):
+        assert units.Kbps(1) == 1e3
+        assert units.Mbps(1) == 1e6
+        assert units.Gbps(1) == 1e9
+        assert units.Tbps(1) == 1e12
+
+    def test_transmission_consistency(self):
+        # 800 Gb/s moves 1 GiB in ~10.7 ms
+        t = units.GiB(1) / units.Gbps(800)
+        assert t == pytest.approx(8 * 1024**3 / 800e9)
+
+
+class TestFormatting:
+    def test_format_time_picks_suffix(self):
+        assert units.format_time(1e-6) == "1us"
+        assert units.format_time(2.5e-3) == "2.5ms"
+        assert units.format_time(3.0) == "3s"
+        assert units.format_time(100e-9) == "100ns"
+
+    def test_format_time_zero_and_special(self):
+        assert units.format_time(0) == "0ns"
+        assert units.format_time(math.inf) == "inf"
+        assert units.format_time(math.nan) == "nan"
+
+    def test_format_size(self):
+        assert units.format_size(units.KiB(1)) == "1KiB"
+        assert units.format_size(units.GiB(2)) == "2GiB"
+        assert units.format_size(8) == "1B"
+
+    def test_format_rate(self):
+        assert units.format_rate(units.Gbps(800)) == "800Gbps"
+        assert units.format_rate(units.Mbps(1.5)) == "1.5Mbps"

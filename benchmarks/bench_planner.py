@@ -1,0 +1,62 @@
+"""Benchmark the unified planner's batched entry point.
+
+Plans the Figure-2 grid (n=64, 6x6 (alpha_r, message size) cells)
+through ``plan_many`` serially and with four worker threads, asserting
+that parallel planning is bit-identical to serial planning and that the
+shared thread-safe theta cache absorbs the cross-cell redundancy.
+Writes a summary to ``benchmarks/results/planner.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FIGURE2_PANEL, PAPER_CONFIG
+from repro.experiments.figure1 import panel_scenario
+from repro.flows import ThroughputCache
+from repro.planner import plan_many, scenario_grid
+
+
+def _grid():
+    return scenario_grid(
+        panel_scenario(FIGURE2_PANEL, PAPER_CONFIG),
+        PAPER_CONFIG.message_sizes,
+        PAPER_CONFIG.alpha_rs,
+    )
+
+
+@pytest.mark.benchmark(group="planner")
+def test_plan_many_serial(benchmark, shared_cache):
+    grid = _grid()
+    results = benchmark.pedantic(
+        lambda: plan_many(grid, solver="dp", cache=shared_cache),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(grid)
+    assert all(r.solver == "dp" for r in results)
+
+
+@pytest.mark.benchmark(group="planner")
+def test_plan_many_parallel_matches_serial(benchmark, results_dir):
+    grid = _grid()
+    serial_cache = ThroughputCache()
+    serial = plan_many(grid, solver="dp", cache=serial_cache)
+
+    parallel_cache = ThroughputCache()
+    parallel = benchmark.pedantic(
+        lambda: plan_many(grid, solver="dp", parallel=4, cache=parallel_cache),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert [r.total_time for r in parallel] == [r.total_time for r in serial]
+    assert [r.schedule for r in parallel] == [r.schedule for r in serial]
+    stats = parallel_cache.stats()
+    assert stats.hit_rate > 0
+    (results_dir / "planner.txt").write_text(
+        f"grid cells: {len(grid)}\n"
+        f"shared cache: {stats.size} entries, "
+        f"{stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.1%} hit rate)\n"
+    )

@@ -8,25 +8,27 @@ script compares every AllReduce algorithm in the library under three
 policies — static ring, naive per-step reconfiguration, and the
 optimized schedule — and prints the best plan per buffer.
 
+The whole (algorithm x buffer x policy) cube is a single batched
+`plan_many` call over declarative scenarios: 48 plans, one shared
+thread-safe theta cache, four worker threads.
+
 Run:  python examples/allreduce_planner.py
 """
 
+from dataclasses import replace
+
 from repro import (
-    CostParameters,
+    GiB,
     Gbps,
     KiB,
     MiB,
-    GiB,
-    bvn_cost,
-    evaluate_step_costs,
-    make_collective,
+    PlanRequest,
+    Scenario,
+    ThroughputCache,
     ns,
-    optimize_schedule,
-    ring,
-    static_cost,
+    plan_many,
     us,
 )
-from repro.flows import ThroughputCache
 from repro.units import format_size, format_time
 
 ALGORITHMS = (
@@ -38,21 +40,44 @@ ALGORITHMS = (
 
 BUFFERS = (KiB(32), MiB(1), MiB(32), GiB(1))
 
+POLICIES = ("static", "bvn", "dp")
+
 
 def main() -> None:
     n = 64
-    bandwidth = Gbps(800)
-    topology = ring(n, bandwidth)
-    params = CostParameters(
+    base = Scenario.create(
+        ALGORITHMS[0],
+        n=n,
+        message_size=BUFFERS[0],
+        bandwidth=Gbps(800),
         alpha=ns(100),
-        bandwidth=bandwidth,
         delta=ns(100),
         reconfiguration_delay=us(25),
     )
-    cache = ThroughputCache()  # thetas shared across buffer sizes
+    cache = ThroughputCache()  # thetas shared across the whole cube
+
+    # One request per (buffer, algorithm, policy) — a single batched call.
+    requests = [
+        PlanRequest(
+            scenario=base.replace(
+                collective=replace(
+                    base.collective, algorithm=algorithm, message_size=buffer
+                )
+            ),
+            solver=policy,
+        )
+        for buffer in BUFFERS
+        for algorithm in ALGORITHMS
+        for policy in POLICIES
+    ]
+    results = plan_many(requests, parallel=4, cache=cache)
+    by_key = {
+        (r.scenario.collective.message_size, r.scenario.collective.algorithm, r.solver): r
+        for r in results
+    }
 
     print(f"domain: n={n}, ring base topology, "
-          f"alpha_r={format_time(params.reconfiguration_delay)}\n")
+          f"alpha_r={format_time(base.cost.reconfiguration_delay)}\n")
     header = (
         f"{'buffer':>8} {'algorithm':>34} {'static':>10} {'bvn':>10} "
         f"{'optimized':>10} {'plan':>16}"
@@ -60,35 +85,41 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for buffer_size in BUFFERS:
-        best = None
-        rows = []
+    for buffer in BUFFERS:
+        best = min(
+            (by_key[(buffer, algorithm, "dp")] for algorithm in ALGORITHMS),
+            key=lambda r: r.total_time,
+        )
         for algorithm in ALGORITHMS:
-            collective = make_collective(algorithm, n, buffer_size)
-            costs = evaluate_step_costs(collective, topology, params, cache=cache)
-            opt = optimize_schedule(costs, params)
-            static = static_cost(costs, params).total
-            bvn = bvn_cost(costs, params).total
-            rows.append((algorithm, static, bvn, opt))
-            if best is None or opt.cost.total < best[1].cost.total:
-                best = (algorithm, opt)
-        for algorithm, static, bvn, opt in rows:
-            marker = " <== best" if algorithm == best[0] else ""
-            matched = opt.schedule.num_matched_steps
-            plan = (
+            static = by_key[(buffer, algorithm, "static")].total_time
+            bvn = by_key[(buffer, algorithm, "bvn")].total_time
+            opt = by_key[(buffer, algorithm, "dp")]
+            marker = (
+                " <== best"
+                if algorithm == best.scenario.collective.algorithm
+                else ""
+            )
+            matched = opt.num_matched_steps
+            steps = len(opt.decisions)
+            label = (
                 "static"
                 if matched == 0
                 else "all-matched"
-                if matched == opt.schedule.num_steps
-                else f"mixed ({matched}/{opt.schedule.num_steps} M)"
+                if matched == steps
+                else f"mixed ({matched}/{steps} M)"
             )
             print(
-                f"{format_size(buffer_size):>8} {algorithm:>34} "
+                f"{format_size(buffer):>8} {algorithm:>34} "
                 f"{format_time(static):>10} {format_time(bvn):>10} "
-                f"{format_time(opt.cost.total):>10} {plan:>16}{marker}"
+                f"{format_time(opt.total_time):>10} {label:>16}{marker}"
             )
         print()
 
+    stats = cache.stats()
+    print(
+        f"planned {len(results)} requests with one shared theta cache: "
+        f"{stats.size} entries, {stats.hit_rate:.0%} hit rate\n"
+    )
     print(
         "reading: small buffers want a static schedule (reconfiguration\n"
         "overhead dominates); large buffers want matched topologies; the\n"

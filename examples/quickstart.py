@@ -5,20 +5,19 @@ Builds the paper's default scenario — a 64-GPU scale-up domain on a
 bidirectional ring of 800 Gb/s ports — and answers the paper's central
 question for one AllReduce: which steps are worth a reconfiguration?
 
+Everything goes through the unified planner: the problem is described
+once as a declarative `Scenario`, and each policy (optimal DP, static
+ring, naive per-step reconfiguration) is just a different solver name.
+
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    CostParameters,
     Gbps,
     MiB,
-    bvn_cost,
-    evaluate_step_costs,
-    make_collective,
+    Scenario,
     ns,
-    optimize_schedule,
-    ring,
-    static_cost,
+    plan,
     us,
     verify_collective,
 )
@@ -27,45 +26,51 @@ from repro.units import format_time
 
 def main() -> None:
     n = 64
-    bandwidth = Gbps(800)
 
-    # 1. The workload: a bandwidth-optimal AllReduce of 64 MiB per GPU.
-    collective = make_collective("allreduce_recursive_doubling", n, MiB(64))
-    report = verify_collective(collective)  # machine-checked semantics
-    print(f"collective: {collective.name}, {collective.num_steps} steps "
-          f"(semantics verified: {report.kind})")
-
-    # 2. The fabric: a ring base topology, 100us reconfiguration delay
-    #    (deliberately in the paper's transitional regime).
-    topology = ring(n, bandwidth)
-    params = CostParameters(
-        alpha=ns(100),            # per-step launch latency
-        bandwidth=bandwidth,      # beta = 1/b
-        delta=ns(100),            # per-hop propagation
+    # 1. The problem, declaratively: workload + fabric + cost scalars.
+    #    (alpha_r = 100us sits deliberately in the paper's transitional
+    #    regime, where neither pure strategy wins.)
+    scenario = Scenario.create(
+        "allreduce_recursive_doubling",
+        n=n,
+        message_size=MiB(64),
+        bandwidth=Gbps(800),
+        alpha=ns(100),             # per-step launch latency
+        delta=ns(100),             # per-hop propagation
         reconfiguration_delay=us(100),
     )
 
-    # 3. Evaluate theta / path length per step on the base topology.
-    step_costs = evaluate_step_costs(collective, topology, params)
+    # The collective's semantics are machine-checked.
+    collective = scenario.build_collective()
+    report = verify_collective(collective)
+    print(f"collective: {collective.name}, {collective.num_steps} steps "
+          f"(semantics verified: {report.kind})")
+
+    # 2. Per-step facts on the static ring (theta, hops, volume).
     print("\nper-step facts on the static ring:")
-    for cost in step_costs:
+    for cost in scenario.step_costs():
         print(
             f"  {cost.label:>28}: theta={cost.theta:6.4f} "
             f"hops={cost.hops:4.0f} volume={cost.volume/8/2**20:8.2f} MiB"
         )
 
-    # 4. Optimize: reconfigure only where it pays (paper Eq. 7 via DP).
-    result = optimize_schedule(step_costs, params)
-    static = static_cost(step_costs, params)
-    bvn = bvn_cost(step_costs, params)
+    # 3. Plan: reconfigure only where it pays (paper Eq. 7 via DP), and
+    #    compare against the two pure policies by swapping the solver.
+    result = plan(scenario, solver="dp")
+    static = plan(scenario, solver="static")
+    bvn = plan(scenario, solver="bvn")
 
     print(f"\nschedule (G = stay on ring, M = reconfigure): {result.schedule}")
-    print(f"optimized completion: {format_time(result.cost.total)} "
-          f"({result.cost.n_reconfigurations} reconfigurations)")
-    print(f"static ring        : {format_time(static.total)} "
-          f"({static.total / result.cost.total:.2f}x slower)")
-    print(f"always reconfigure : {format_time(bvn.total)} "
-          f"({bvn.total / result.cost.total:.2f}x slower)")
+    print(f"optimized completion: {format_time(result.total_time)} "
+          f"({result.n_reconfigurations} reconfigurations)")
+    print(f"static ring        : {format_time(static.total_time)} "
+          f"({static.total_time / result.total_time:.2f}x slower)")
+    print(f"always reconfigure : {format_time(bvn.total_time)} "
+          f"({bvn.total_time / result.total_time:.2f}x slower)")
+    stats = result.cache_stats
+    if stats is not None:
+        print(f"theta cache        : {stats.size} entries, "
+              f"{stats.hit_rate:.0%} hit rate")
 
 
 if __name__ == "__main__":

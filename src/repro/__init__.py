@@ -6,28 +6,47 @@ BvN / maximum-concurrent-flow / alpha-beta cost model bridge, the
 reconfigure-or-not schedule optimizer, and the flow-level evaluation
 that produces the paper's Figure 1 and Figure 2.
 
-Quickstart::
+Quickstart — describe the problem declaratively, then plan it::
 
-    from repro import (
-        CostParameters, make_collective, optimize_schedule,
-        evaluate_step_costs, ring, Gbps, MiB, ns, us,
+    from repro import Scenario, plan, Gbps, MiB, ns, us
+
+    scenario = Scenario.create(
+        "allreduce_swing", n=64, message_size=MiB(64),
+        bandwidth=Gbps(800), alpha=ns(100), delta=ns(100),
+        reconfiguration_delay=us(10),
     )
+    result = plan(scenario, solver="dp")   # or "ilp", "pool", ...
+    print(result.schedule, result.total_time)
 
-    topology = ring(64, Gbps(800))
-    collective = make_collective("allreduce_swing", 64, MiB(64))
-    params = CostParameters(alpha=ns(100), bandwidth=Gbps(800),
-                            delta=ns(100), reconfiguration_delay=us(10))
-    costs = evaluate_step_costs(collective, topology, params)
-    result = optimize_schedule(costs, params)
-    print(result.schedule, result.cost.total)
+Batch a whole parameter sweep through the shared theta cache::
+
+    from repro import plan_many, scenario_grid
+
+    grid = scenario_grid(scenario, message_sizes=[MiB(1), MiB(64)],
+                         alpha_rs=[us(1), us(100)])
+    results = plan_many(grid, solver="dp", parallel=4)
+
+The legacy imperative entry points (``optimize_schedule`` and friends)
+remain available and are what the solver registry adapts.
 
 Subpackages: :mod:`repro.topology`, :mod:`repro.collectives`,
 :mod:`repro.flows`, :mod:`repro.bvn`, :mod:`repro.core`,
-:mod:`repro.fabric`, :mod:`repro.sim`, :mod:`repro.analysis`,
-:mod:`repro.experiments`.
+:mod:`repro.fabric`, :mod:`repro.planner`, :mod:`repro.sim`,
+:mod:`repro.analysis`, :mod:`repro.experiments`.
 """
 
-from . import analysis, bvn, collectives, core, experiments, fabric, flows, sim, topology
+from . import (
+    analysis,
+    bvn,
+    collectives,
+    core,
+    experiments,
+    fabric,
+    flows,
+    planner,
+    sim,
+    topology,
+)
 from .collectives import (
     Collective,
     PAPER_ALGORITHMS,
@@ -54,7 +73,19 @@ from .core import (
     static_cost,
 )
 from .exceptions import ReproError
-from .flows import compute_theta, max_concurrent_flow
+from .flows import CacheStats, ThroughputCache, compute_theta, max_concurrent_flow
+from .planner import (
+    CollectiveSpec,
+    PlanRequest,
+    PlanResult,
+    Scenario,
+    TopologySpec,
+    available_solvers,
+    plan,
+    plan_many,
+    register_solver,
+    scenario_grid,
+)
 from .matching import Matching
 from .sim import FlowLevelSimulator, simulate
 from .topology import Topology, hypercube, ring, torus
@@ -71,9 +102,21 @@ __all__ = [
     "bvn",
     "core",
     "fabric",
+    "planner",
     "sim",
     "analysis",
     "experiments",
+    # the unified planner API
+    "Scenario",
+    "TopologySpec",
+    "CollectiveSpec",
+    "PlanRequest",
+    "PlanResult",
+    "plan",
+    "plan_many",
+    "scenario_grid",
+    "register_solver",
+    "available_solvers",
     # frequently used names
     "ReproError",
     "Matching",
@@ -104,6 +147,8 @@ __all__ = [
     "classify_regime",
     "compute_theta",
     "max_concurrent_flow",
+    "ThroughputCache",
+    "CacheStats",
     "FlowLevelSimulator",
     "simulate",
     # units

@@ -1,5 +1,17 @@
 """The paper's core contribution: the alpha-beta-theta cost model and
-reconfiguration-aware schedule optimization (paper §3)."""
+reconfiguration-aware schedule optimization (paper §3).
+
+The optimizer entry points below (``optimize_schedule``,
+``optimize_schedule_ilp``, ``optimize_pool_schedule``,
+``optimize_with_overlap``, ``threshold_schedule``,
+``greedy_sequential_schedule``) are the solver *engines*.  New code
+should usually go through the unified front door instead —
+:func:`repro.planner.plan` with ``solver="dp" | "ilp" | "pool" |
+"overlap" | "threshold" | "greedy"`` — which assembles the topology /
+collective / step-cost plumbing from a declarative
+:class:`~repro.planner.Scenario` and returns a normalized
+:class:`~repro.planner.PlanResult`.  These functions remain supported
+for callers that already hold ``StepCost`` sequences."""
 
 from .baselines import best_of_both_cost, bvn_cost, static_cost
 from .cost_model import CostParameters, StepCost, evaluate_step_costs

@@ -19,6 +19,7 @@ optimizers need.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -65,14 +66,17 @@ class CostParameters:
         """Inverse bandwidth, seconds per bit."""
         return 1.0 / self.bandwidth
 
+    def replace(self, **kwargs: float) -> "CostParameters":
+        """A copy with the given fields overridden (sweep helper).
+
+        Validation still runs (``__post_init__``), so an invalid sweep
+        point fails loudly rather than producing a nonsense cost.
+        """
+        return dataclasses.replace(self, **kwargs)
+
     def with_reconfiguration_delay(self, alpha_r: float) -> "CostParameters":
         """A copy with a different ``alpha_r`` (sweep helper)."""
-        return CostParameters(
-            alpha=self.alpha,
-            bandwidth=self.bandwidth,
-            delta=self.delta,
-            reconfiguration_delay=alpha_r,
-        )
+        return dataclasses.replace(self, reconfiguration_delay=alpha_r)
 
 
 @dataclass(frozen=True)

@@ -2,19 +2,29 @@
 
 Subcommands:
 
-* ``figure1 [--panel a..h] [--n N] [--csv DIR]`` — reproduce Figure 1.
-* ``figure2 [--n N] [--csv DIR]``                — reproduce Figure 2.
-* ``list``                                        — available collectives.
+* ``figure1 [--panel a..h] [--n N] [--csv DIR] [--parallel N]`` — Figure 1.
+* ``figure2 [--n N] [--csv DIR] [--parallel N]``                — Figure 2.
+* ``plan [...]``  — plan one scenario through the unified planner.
+* ``list``        — available collectives and solvers.
+
+The ``plan`` subcommand is config-driven: ``--scenario FILE`` loads a
+declarative :class:`~repro.planner.Scenario` from JSON (the
+``to_dict`` format), ``--dump-scenario`` prints the JSON for the
+scenario described by the flags, and ``--solver all`` compares every
+registered engine on the same scenario.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from pathlib import Path
 
 from ..collectives.registry import available_collectives
+from ..planner import Scenario, available_solvers, plan
+from ..units import Gbps, MiB, format_time, ns, us
 from .config import PAPER_CONFIG
 from .figure1 import run_figure1
 from .figure2 import run_figure2
@@ -36,31 +46,143 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig1.add_argument("--n", type=int, default=None, help="override GPU count")
     fig1.add_argument("--csv", type=Path, default=None, help="CSV output directory")
+    fig1.add_argument(
+        "--parallel", type=int, default=None, help="planner worker threads"
+    )
 
     fig2 = sub.add_parser("figure2", help="the Figure 2 best-of-both heatmap")
     fig2.add_argument("--n", type=int, default=None, help="override GPU count")
     fig2.add_argument("--csv", type=Path, default=None, help="CSV output directory")
+    fig2.add_argument(
+        "--parallel", type=int, default=None, help="planner worker threads"
+    )
 
-    sub.add_parser("list", help="list available collective algorithms")
+    plan_cmd = sub.add_parser(
+        "plan", help="plan one scenario with a registered solver"
+    )
+    plan_cmd.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        help="JSON scenario file (Scenario.to_dict format); overrides flags",
+    )
+    plan_cmd.add_argument(
+        "--algorithm", default="allreduce_recursive_doubling",
+        help="collective algorithm name",
+    )
+    plan_cmd.add_argument("--n", type=int, default=64, help="GPU count")
+    plan_cmd.add_argument(
+        "--message-mib", type=float, default=64.0, help="per-GPU message (MiB)"
+    )
+    plan_cmd.add_argument(
+        "--bandwidth-gbps", type=float, default=800.0,
+        help="transceiver bandwidth (Gb/s)",
+    )
+    plan_cmd.add_argument(
+        "--alpha-ns", type=float, default=100.0, help="per-step latency (ns)"
+    )
+    plan_cmd.add_argument(
+        "--delta-ns", type=float, default=100.0, help="per-hop delay (ns)"
+    )
+    plan_cmd.add_argument(
+        "--alpha-r-us", type=float, default=10.0,
+        help="reconfiguration delay (us)",
+    )
+    plan_cmd.add_argument(
+        "--solver",
+        default="dp",
+        help="registered solver name, or 'all' to compare every solver",
+    )
+    plan_cmd.add_argument(
+        "--dump-scenario",
+        action="store_true",
+        help="print the scenario JSON instead of planning",
+    )
+
+    sub.add_parser("list", help="list available collectives and solvers")
     return parser
+
+
+def _plan_scenario(args: argparse.Namespace) -> Scenario:
+    if args.scenario is not None:
+        return Scenario.from_dict(json.loads(args.scenario.read_text()))
+    return Scenario.create(
+        args.algorithm,
+        n=args.n,
+        message_size=MiB(args.message_mib),
+        bandwidth=Gbps(args.bandwidth_gbps),
+        alpha=ns(args.alpha_ns),
+        delta=ns(args.delta_ns),
+        reconfiguration_delay=us(args.alpha_r_us),
+    )
+
+
+def _decision_char(decision: str) -> str:
+    """Compact per-step glyph: G (base), M (matched), or a pool index
+    (bracketed when it has more than one digit)."""
+    if decision == "base":
+        return "G"
+    if decision == "matched":
+        return "M"
+    index = decision.split(":", 1)[1]
+    return index if len(index) == 1 else f"[{index}]"
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    scenario = _plan_scenario(args)
+    if args.dump_scenario:
+        print(json.dumps(scenario.to_dict(), indent=2))
+        return 0
+    solvers = (
+        available_solvers() if args.solver == "all" else (args.solver,)
+    )
+    spec = scenario.collective
+    print(
+        f"scenario: {spec.algorithm}, n={scenario.n}, "
+        f"{spec.message_size / MiB(1):g} MiB per GPU, "
+        f"alpha_r={format_time(scenario.cost.reconfiguration_delay)}"
+    )
+    stats = None
+    for solver in solvers:
+        result = plan(scenario, solver=solver)
+        stats = result.cache_stats
+        decisions = "".join(_decision_char(d) for d in result.decisions)
+        print(
+            f"{solver:>10}: {format_time(result.total_time):>10}  "
+            f"schedule={decisions}  "
+            f"reconfigurations={result.n_reconfigurations}"
+        )
+    if stats is not None:
+        print(
+            f"theta cache: {stats.size} entries, "
+            f"{stats.hit_rate:.0%} hit rate ({stats.lookups} lookups)"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
+        print("collectives:")
         for name in available_collectives():
-            print(name)
+            print(f"  {name}")
+        print("solvers:")
+        for name in available_solvers():
+            print(f"  {name}")
         return 0
+
+    if args.command == "plan":
+        return _run_plan(args)
 
     config = PAPER_CONFIG
     if args.n is not None:
         config = replace(config, n=args.n)
 
     if args.command == "figure1":
-        results = run_figure1(config, panels=args.panel)
+        results = run_figure1(config, panels=args.panel, parallel=args.parallel)
     else:
-        results = [run_figure2(config)]
+        results = [run_figure2(config, parallel=args.parallel)]
 
     for result in results:
         print(panel_report(result))

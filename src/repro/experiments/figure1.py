@@ -5,20 +5,39 @@ per-step reconfiguration (BvN schedules).  Bottom row (panels e-h):
 speedup over the static ring.  Panels vary the algorithm (recursive
 halving/doubling, Swing, All-to-All) and the per-step latency ``alpha``
 (100 ns or 10 us).
+
+Each panel is one batched :func:`repro.planner.plan_many` call: the
+(message size x alpha_r) grid expands into declarative
+:class:`~repro.planner.Scenario` cells, every cell is planned with the
+``dp``, ``static``, and ``bvn`` solvers, and the results are folded
+back into the :class:`~repro.analysis.speedup.SpeedupGrid` the
+renderers consume.  All cells share one thread-safe theta cache, so a
+panel still costs only a handful of LP solves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..analysis.regimes import RegimeCensus, census
-from ..analysis.speedup import SpeedupGrid, compute_speedup_grid
-from ..collectives.registry import make_collective
+from ..analysis.speedup import SpeedupGrid
 from ..exceptions import ConfigurationError
 from ..flows import ThroughputCache, default_cache
+from ..planner import PlanRequest, Scenario, plan_many, scenario_grid
 from .config import FIGURE1_PANELS, PanelSpec, PaperConfig, PAPER_CONFIG
 
-__all__ = ["PanelResult", "run_panel", "run_figure1", "panel_by_id"]
+__all__ = [
+    "PanelResult",
+    "panel_scenario",
+    "run_panel",
+    "run_figure1",
+    "panel_by_id",
+]
+
+#: The three policies evaluated per grid cell.
+_PANEL_SOLVERS = ("dp", "static", "bvn")
 
 
 @dataclass(frozen=True)
@@ -45,26 +64,65 @@ def panel_by_id(panel: str) -> PanelSpec:
     )
 
 
+def panel_scenario(
+    spec: PanelSpec, config: PaperConfig = PAPER_CONFIG
+) -> Scenario:
+    """The declarative base scenario of one panel (first grid cell)."""
+    return Scenario.create(
+        spec.algorithm,
+        n=config.n,
+        message_size=config.message_sizes[0],
+        bandwidth=config.bandwidth,
+        alpha=spec.alpha,
+        delta=config.delta,
+        reconfiguration_delay=config.alpha_rs[0],
+        topology="ring",
+        topology_options={"bidirectional": config.bidirectional_ring},
+        name=f"figure-panel-{spec.panel}",
+    )
+
+
 def run_panel(
     spec: PanelSpec,
     config: PaperConfig = PAPER_CONFIG,
     cache: ThroughputCache | None = default_cache,
+    parallel: int | None = None,
 ) -> PanelResult:
-    """Evaluate one panel's full (alpha_r x message size) grid."""
-    topology = config.base_topology()
-    params = config.params(spec.alpha)
+    """Evaluate one panel's full (alpha_r x message size) grid.
 
-    def factory(message_size: float):
-        return make_collective(spec.algorithm, config.n, message_size)
+    ``parallel`` is forwarded to :func:`repro.planner.plan_many`.
+    """
+    cells = scenario_grid(
+        panel_scenario(spec, config), config.message_sizes, config.alpha_rs
+    )
+    requests = [
+        PlanRequest(scenario=cell, solver=solver)
+        for cell in cells
+        for solver in _PANEL_SOLVERS
+    ]
+    results = plan_many(requests, parallel=parallel, cache=cache)
 
-    grid = compute_speedup_grid(
-        factory,
-        topology,
-        params,
-        config.message_sizes,
-        config.alpha_rs,
-        cache=cache,
+    shape = (len(config.message_sizes), len(config.alpha_rs))
+    surfaces = {
+        solver: np.zeros(shape) for solver in _PANEL_SOLVERS
+    }
+    matched = np.zeros(shape, dtype=int)
+    per_cell = len(_PANEL_SOLVERS)
+    for index, cell in enumerate(cells):
+        row, col = divmod(index, len(config.alpha_rs))
+        for offset, solver in enumerate(_PANEL_SOLVERS):
+            result = results[index * per_cell + offset]
+            surfaces[solver][row, col] = result.total_time
+            if solver == "dp":
+                matched[row, col] = result.num_matched_steps
+    grid = SpeedupGrid(
         algorithm=spec.algorithm,
+        message_sizes=tuple(float(m) for m in config.message_sizes),
+        alpha_rs=tuple(float(a) for a in config.alpha_rs),
+        opt=surfaces["dp"],
+        static=surfaces["static"],
+        bvn=surfaces["bvn"],
+        matched_steps=matched,
     )
     return PanelResult(spec=spec, grid=grid, census=census(grid))
 
@@ -73,6 +131,7 @@ def run_figure1(
     config: PaperConfig = PAPER_CONFIG,
     panels: str | None = None,
     cache: ThroughputCache | None = default_cache,
+    parallel: int | None = None,
 ) -> list[PanelResult]:
     """Evaluate all (or selected) Figure 1 panels.
 
@@ -84,4 +143,7 @@ def run_figure1(
         if panels is None
         else tuple(panel_by_id(p) for p in panels)
     )
-    return [run_panel(spec, config=config, cache=cache) for spec in selected]
+    return [
+        run_panel(spec, config=config, cache=cache, parallel=parallel)
+        for spec in selected
+    ]

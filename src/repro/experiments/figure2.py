@@ -5,6 +5,10 @@ per-point minimum of the two pure strategies, with the gains
 concentrated in a diagonal transitional band of the
 (reconfiguration delay, message size) plane — the regime where neither
 always-reconfigure nor always-static suffices.
+
+Like Figure 1, the grid is evaluated through the unified planner
+(:func:`repro.planner.plan_many` under :func:`run_panel`); pass
+``parallel`` to spread the grid over worker threads.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ __all__ = ["run_figure2"]
 def run_figure2(
     config: PaperConfig = PAPER_CONFIG,
     cache: ThroughputCache | None = default_cache,
+    parallel: int | None = None,
 ) -> PanelResult:
     """Evaluate the Figure 2 grid (speedup vs min(static, BvN))."""
-    return run_panel(FIGURE2_PANEL, config=config, cache=cache)
+    return run_panel(FIGURE2_PANEL, config=config, cache=cache, parallel=parallel)

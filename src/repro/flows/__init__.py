@@ -17,7 +17,7 @@ from .bounds import (
     theta_upper_bound_flowhops,
     theta_upper_bound_ports,
 )
-from .cache import ThroughputCache, default_cache
+from .cache import CacheStats, ThroughputCache, default_cache
 from .closed_forms import detect_uniform_shift, ring_shift_theta, try_closed_form_theta
 from .concurrent_flow import (
     Commodity,
@@ -55,6 +55,7 @@ __all__ = [
     "ring_shift_theta",
     "detect_uniform_shift",
     "try_closed_form_theta",
+    "CacheStats",
     "ThroughputCache",
     "default_cache",
 ]

@@ -6,23 +6,51 @@ the figure sweeps (thousands of (alpha_r, m) grid points) need only a
 handful of distinct theta computations.  :class:`ThroughputCache` keys
 results by (topology fingerprint, matching) and is shared by default
 through a module-level instance.
+
+The cache is thread-safe: :func:`repro.planner.plan_many` shares one
+instance across worker threads, so lookup/insert and the statistics
+counters are guarded by a lock.  :meth:`ThroughputCache.stats` returns a
+consistent :class:`CacheStats` snapshot for reporting.
 """
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from collections.abc import Callable
 
 from ..matching import Matching
 from ..topology.base import Topology
 
-__all__ = ["ThroughputCache", "default_cache"]
+__all__ = ["CacheStats", "ThroughputCache", "default_cache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get_or_compute`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the table (0.0 when idle)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
 
 
 class ThroughputCache:
-    """A keyed memo table for theta values."""
+    """A keyed, thread-safe memo table for theta values."""
 
     def __init__(self) -> None:
         self._table: dict[tuple, float] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -31,9 +59,17 @@ class ThroughputCache:
 
     def clear(self) -> None:
         """Drop all entries and reset statistics."""
-        self._table.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> CacheStats:
+        """Hits / misses / size as one consistent snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits, misses=self.misses, size=len(self._table)
+            )
 
     def _key(self, topology: Topology, matching: Matching, tag: str) -> tuple:
         return (topology.fingerprint(), matching, tag)
@@ -48,15 +84,25 @@ class ThroughputCache:
         """Return the cached value or compute, store, and return it.
 
         ``tag`` separates entries produced by different estimators (the
-        exact LP vs. proxies) for the same pattern.
+        exact LP vs. proxies) for the same pattern.  ``compute`` runs
+        outside the lock (LP solves can take milliseconds); two threads
+        racing on the same key may both compute, but the table stays
+        consistent and the value is deterministic either way.
         """
         key = self._key(topology, matching, tag)
-        if key in self._table:
-            self.hits += 1
-            return self._table[key]
-        self.misses += 1
+        with self._lock:
+            if key in self._table:
+                self.hits += 1
+                return self._table[key]
         value = float(compute())
-        self._table[key] = value
+        with self._lock:
+            if key in self._table:
+                # Another thread computed it first; count our lookup as
+                # a miss (we did the work) but keep the stored value.
+                self.misses += 1
+                return self._table[key]
+            self.misses += 1
+            self._table[key] = value
         return value
 
 

@@ -1,0 +1,119 @@
+"""The solver registry and the `plan` front door.
+
+``plan(scenario, solver="dp")`` is the single entry point behind which
+all schedule optimizers live.  Solvers are plain callables registered
+by name; :mod:`repro.planner.solvers` installs the built-in six (dp,
+ilp, pool, overlap, threshold, greedy) plus the two baseline policies
+(static, bvn) at import time, and downstream code may register its own
+engines with :func:`register_solver`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from ..exceptions import ConfigurationError
+from ..flows import ThroughputCache, default_cache
+from .result import PlanRequest, PlanResult
+from .scenario import Scenario, _freeze_options
+
+__all__ = [
+    "SolverFn",
+    "register_solver",
+    "unregister_solver",
+    "available_solvers",
+    "get_solver",
+    "plan",
+]
+
+#: A solver maps (request, theta cache) to a normalized result.
+SolverFn = Callable[[PlanRequest, "ThroughputCache | None"], PlanResult]
+
+_SOLVERS: dict[str, SolverFn] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_solver(name: str, fn: SolverFn, *, overwrite: bool = False) -> None:
+    """Register a solver under ``name``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on duplicate
+    names unless ``overwrite=True`` — silent replacement of an engine
+    is exactly the kind of bug a registry exists to prevent.
+    """
+    if not callable(fn):
+        raise ConfigurationError(f"solver {name!r} must be callable, got {fn!r}")
+    name = str(name)
+    if not name:
+        raise ConfigurationError("solver name must be non-empty")
+    with _REGISTRY_LOCK:
+        if name in _SOLVERS and not overwrite:
+            raise ConfigurationError(
+                f"solver {name!r} is already registered; pass overwrite=True "
+                f"to replace it"
+            )
+        _SOLVERS[name] = fn
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered solver (primarily for tests)."""
+    with _REGISTRY_LOCK:
+        if name not in _SOLVERS:
+            raise ConfigurationError(f"solver {name!r} is not registered")
+        del _SOLVERS[name]
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Sorted names of all registered solvers."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_SOLVERS))
+
+
+def get_solver(name: str) -> SolverFn:
+    """Look up a solver by name."""
+    with _REGISTRY_LOCK:
+        fn = _SOLVERS.get(name)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        )
+    return fn
+
+
+def plan(
+    scenario: Scenario | PlanRequest,
+    solver: str = "dp",
+    cache: ThroughputCache | None = default_cache,
+    **options,
+) -> PlanResult:
+    """Plan one scenario with the named solver.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario`, or a prepared :class:`PlanRequest` (then
+        ``solver`` / ``options`` must not also be given).
+    solver:
+        A name from :func:`available_solvers`.
+    cache:
+        Theta memo shared across calls; ``None`` disables caching.
+    options:
+        Solver-specific keyword options (e.g. ``compute_times`` for the
+        overlap solver, ``pool`` for the pool solver).  Unknown options
+        raise.
+    """
+    if isinstance(scenario, PlanRequest):
+        if solver != "dp" or options:
+            raise ConfigurationError(
+                "pass solver/options inside the PlanRequest, not alongside it"
+            )
+        request = scenario
+    else:
+        request = PlanRequest(
+            scenario=scenario, solver=solver, options=_freeze_options(options)
+        )
+    fn = get_solver(request.solver)
+    result = fn(request, cache)
+    if cache is not None:
+        result = result.with_cache_stats(cache.stats())
+    return result

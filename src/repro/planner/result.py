@@ -1,0 +1,122 @@
+"""Normalized planning requests and results.
+
+Every solver in the registry — exact DP, MILP, pool DP, overlap DP, and
+the online heuristics — answers the same question ("reconfigure or
+not, per step?") but historically returned a different shape.
+:class:`PlanResult` is the one shape callers see: the schedule, the
+per-step decision labels, the total completion time, the cost
+breakdown when the two-state model applies, solver metadata, and a
+snapshot of the shared throughput-cache statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Mapping
+
+from ..core.schedule import Decision, Schedule, ScheduleCost
+from ..flows.cache import CacheStats
+from .scenario import Options, Scenario, _freeze_options, _thaw_options
+
+__all__ = ["PlanRequest", "PlanResult"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """A scenario bound to a solver choice plus solver-specific options."""
+
+    scenario: Scenario
+    solver: str = "dp"
+    options: Options = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", _freeze_options(self.options))
+
+    @property
+    def options_dict(self) -> dict[str, object]:
+        """Solver options as a plain dict."""
+        return _thaw_options(self.options)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """The normalized outcome of one planning request.
+
+    Attributes
+    ----------
+    request:
+        The request that produced this result.
+    schedule:
+        The two-state decision vector, or ``None`` for solvers whose
+        state space is richer (the pool DP).
+    decisions:
+        Normalized per-step labels: ``"base"``, ``"matched"``, or
+        ``"pool:<index>"``.
+    total_time:
+        Collective completion time in seconds (the solver's objective).
+    cost:
+        Full Eq. 7 cost breakdown when available, else ``None``.
+    n_reconfigurations:
+        Reconfigurations charged by the solver's accounting.
+    solver:
+        Name the solver was registered under.
+    metadata:
+        Solver-specific extras (e.g. the pool DP's per-step times).
+    cache_stats:
+        Snapshot of the shared :class:`~repro.flows.ThroughputCache`
+        taken when this plan finished (``None`` if caching was off).
+    """
+
+    request: PlanRequest
+    schedule: Schedule | None
+    decisions: tuple[str, ...]
+    total_time: float
+    cost: ScheduleCost | None
+    n_reconfigurations: int
+    solver: str
+    metadata: Options = ()
+    cache_stats: CacheStats | None = None
+
+    @property
+    def scenario(self) -> Scenario:
+        """The scenario this plan answers."""
+        return self.request.scenario
+
+    @property
+    def metadata_dict(self) -> dict[str, object]:
+        """Solver metadata as a plain dict."""
+        return _thaw_options(self.metadata)
+
+    @property
+    def num_matched_steps(self) -> int:
+        """How many steps leave the base topology."""
+        return sum(1 for d in self.decisions if d != "base")
+
+    def with_cache_stats(self, stats: CacheStats | None) -> "PlanResult":
+        """A copy carrying a cache snapshot (used by ``plan``)."""
+        return replace(self, cache_stats=stats)
+
+    @classmethod
+    def from_schedule(
+        cls,
+        request: PlanRequest,
+        schedule: Schedule,
+        cost: ScheduleCost,
+        solver: str,
+        metadata: Mapping[str, object] | None = None,
+    ) -> "PlanResult":
+        """Wrap a two-state schedule + evaluated cost."""
+        labels = tuple(
+            "base" if d is Decision.BASE else "matched"
+            for d in schedule.decisions
+        )
+        return cls(
+            request=request,
+            schedule=schedule,
+            decisions=labels,
+            total_time=cost.total,
+            cost=cost,
+            n_reconfigurations=cost.n_reconfigurations,
+            solver=solver,
+            metadata=_freeze_options(metadata),
+        )

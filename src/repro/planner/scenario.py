@@ -1,0 +1,565 @@
+"""Declarative planning scenarios.
+
+A :class:`Scenario` is a complete, frozen description of one planning
+problem — *what* to solve, with no reference to *which engine* solves
+it: a topology spec, a collective spec, the cost-model scalars, and the
+workload knobs (theta estimator, path-length rule, multi-port radix).
+Scenarios round-trip through plain dicts (:meth:`Scenario.to_dict` /
+:meth:`Scenario.from_dict`), so sweeps, config files, and services can
+all drive the planner without touching library objects.
+
+Scenarios are hashable: equal specs compare equal, which lets
+:func:`repro.planner.plan_many` and the topology memo deduplicate work
+across a grid sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from dataclasses import dataclass, field, replace
+from collections.abc import Mapping, Sequence
+
+from ..collectives.base import Collective
+from ..collectives.registry import available_collectives, make_collective
+from ..core.cost_model import CostParameters, StepCost, evaluate_step_costs
+from ..core.multiport import (
+    MultiPortStepCost,
+    evaluate_multiport_step_costs,
+    multiport_alltoall,
+)
+from ..exceptions import ConfigurationError
+from ..flows import PathLengthRule, ThroughputCache, default_cache
+from ..topology import (
+    Topology,
+    coprime_rings,
+    dgx,
+    full_mesh,
+    hypercube,
+    line,
+    ring,
+    star,
+    torus,
+)
+from ..units import Gbps
+
+__all__ = [
+    "TopologySpec",
+    "CollectiveSpec",
+    "Scenario",
+    "available_topology_families",
+    "scenario_grid",
+]
+
+Options = tuple[tuple[str, object], ...]
+
+_THETA_METHODS = ("auto", "lp", "closed", "sp", "proxy")
+
+
+def _freeze_options(options: object) -> Options:
+    """Normalize an options mapping (or pair tuple) into a canonical,
+    hashable, sorted ``((key, value), ...)`` tuple."""
+    if options is None:
+        return ()
+    if isinstance(options, Mapping):
+        items = options.items()
+    else:
+        items = tuple(options)
+    frozen = []
+    for key, value in sorted(items):
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((str(key), value))
+    return tuple(frozen)
+
+
+def _thaw_options(options: Options) -> dict[str, object]:
+    """Options tuple back to a plain dict (tuples become lists so the
+    result is JSON-serializable)."""
+    out: dict[str, object] = {}
+    for key, value in options:
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out
+
+
+# -- topology families -------------------------------------------------------
+
+def _build_torus(n: int, bandwidth: float, dims: Sequence[int] = (), **kwargs):
+    dims = tuple(int(d) for d in dims)
+    if not dims:
+        raise ConfigurationError("torus topology requires a 'dims' option")
+    size = 1
+    for d in dims:
+        size *= d
+    if size != n:
+        raise ConfigurationError(
+            f"torus dims {dims} describe {size} ranks but the spec says n={n}"
+        )
+    return torus(dims, bandwidth, **kwargs)
+
+
+_TOPOLOGY_FAMILIES: dict[str, object] = {
+    "ring": ring,
+    "torus": _build_torus,
+    "hypercube": hypercube,
+    "full_mesh": full_mesh,
+    "star": star,
+    "line": line,
+    "dgx": dgx,
+    "coprime_rings": lambda n, bandwidth, **kw: coprime_rings(
+        n, node_bandwidth=bandwidth, **kw
+    ),
+}
+
+
+def available_topology_families() -> tuple[str, ...]:
+    """Sorted names of the topology families a spec may reference."""
+    return tuple(sorted(_TOPOLOGY_FAMILIES))
+
+
+# One built Topology per distinct spec: grid sweeps produce hundreds of
+# scenarios over the same fabric, and a shared instance also shares its
+# internal hop-distance cache.  Guarded for plan_many's worker threads
+# and FIFO-bounded so long-lived processes sweeping n or bandwidth do
+# not accumulate topologies (and their hop caches) forever.
+_TOPOLOGY_MEMO: dict["TopologySpec", Topology] = {}
+_TOPOLOGY_MEMO_LOCK = threading.Lock()
+_TOPOLOGY_MEMO_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named base-topology family plus its construction parameters.
+
+    Attributes
+    ----------
+    family:
+        One of :func:`available_topology_families`.
+    n:
+        Number of GPU ranks.
+    bandwidth:
+        Aggregate transceiver bandwidth per GPU in bits/second.
+    options:
+        Family-specific keyword arguments (e.g. ``bidirectional`` for
+        rings, ``dims`` for tori, ``shifts`` for co-prime ring unions),
+        stored as a canonical sorted tuple of pairs.
+    """
+
+    family: str = "ring"
+    n: int = 64
+    bandwidth: float = Gbps(800)
+    options: Options = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in _TOPOLOGY_FAMILIES:
+            raise ConfigurationError(
+                f"unknown topology family {self.family!r}; available: "
+                f"{available_topology_families()}"
+            )
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        object.__setattr__(self, "options", _freeze_options(self.options))
+
+    def build(self) -> Topology:
+        """Construct (or fetch the memoized) topology instance."""
+        with _TOPOLOGY_MEMO_LOCK:
+            cached = _TOPOLOGY_MEMO.get(self)
+        if cached is not None:
+            return cached
+        builder = _TOPOLOGY_FAMILIES[self.family]
+        try:
+            topology = builder(self.n, self.bandwidth, **_thaw_options(self.options))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad options for topology family {self.family!r}: {exc}"
+            ) from exc
+        with _TOPOLOGY_MEMO_LOCK:
+            kept = _TOPOLOGY_MEMO.setdefault(self, topology)
+            while len(_TOPOLOGY_MEMO) > _TOPOLOGY_MEMO_LIMIT:
+                _TOPOLOGY_MEMO.pop(next(iter(_TOPOLOGY_MEMO)))
+            return kept
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        out: dict[str, object] = {
+            "family": self.family,
+            "n": self.n,
+            "bandwidth": self.bandwidth,
+        }
+        if self.options:
+            out["options"] = _thaw_options(self.options)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TopologySpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        _check_keys(data, {"family", "n", "bandwidth", "options"}, "topology")
+        return cls(
+            family=str(data.get("family", "ring")),
+            n=int(data.get("n", 64)),
+            bandwidth=float(data.get("bandwidth", Gbps(800))),
+            options=_freeze_options(data.get("options")),
+        )
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """A named collective algorithm plus its per-GPU message size.
+
+    ``options`` are forwarded to the registry factory (e.g. ``root``
+    for rooted collectives).  The rank count comes from the scenario's
+    topology spec, so a scenario can never be internally inconsistent.
+    """
+
+    algorithm: str = "allreduce_recursive_doubling"
+    message_size: float = 0.0
+    options: Options = ()
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in available_collectives():
+            raise ConfigurationError(
+                f"unknown collective {self.algorithm!r}; available: "
+                f"{available_collectives()}"
+            )
+        if self.message_size < 0:
+            raise ConfigurationError("message_size must be non-negative")
+        object.__setattr__(self, "options", _freeze_options(self.options))
+
+    def build(self, n: int) -> Collective:
+        """Instantiate the collective for an ``n``-rank domain."""
+        return make_collective(
+            self.algorithm, n, self.message_size, **_thaw_options(self.options)
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        out: dict[str, object] = {
+            "algorithm": self.algorithm,
+            "message_size": self.message_size,
+        }
+        if self.options:
+            out["options"] = _thaw_options(self.options)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CollectiveSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        _check_keys(data, {"algorithm", "message_size", "options"}, "collective")
+        return cls(
+            algorithm=str(data.get("algorithm", "allreduce_recursive_doubling")),
+            message_size=float(data.get("message_size", 0.0)),
+            options=_freeze_options(data.get("options")),
+        )
+
+
+def _check_keys(
+    data: Mapping[str, object], allowed: set[str], what: str
+) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+
+
+# Step-cost evaluations keyed by (scenario facts that matter, cache):
+# the WeakKeyDictionary ties each memo's lifetime to its cache, and the
+# per-cache tables are FIFO-bounded.  Entries never go stale — step
+# costs are a pure function of the key — so clearing the theta cache
+# does not require clearing this memo.
+_STEP_COSTS_MEMO: "weakref.WeakKeyDictionary[ThroughputCache, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_STEP_COSTS_MEMO_LOCK = threading.Lock()
+_STEP_COSTS_MEMO_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete planning problem, declaratively.
+
+    Attributes
+    ----------
+    topology:
+        The base fabric ``G``.
+    collective:
+        The workload (algorithm + message size).
+    cost:
+        The alpha-beta-theta scalars, including ``alpha_r``.
+    theta_method:
+        Theta estimator passed to :func:`repro.flows.compute_theta`.
+    path_rule:
+        How per-pair hop counts collapse into ``l_i``.
+    multiport_radix:
+        ``None`` for the single-port model; ``p >= 1`` schedules the
+        multi-ported All-to-All over ``p`` transceivers per GPU
+        (paper §4 outlook) — only ``alltoall`` supports grouping.
+    name:
+        Optional label carried into reports.
+    """
+
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    collective: CollectiveSpec = field(default_factory=CollectiveSpec)
+    cost: CostParameters = field(
+        default_factory=lambda: CostParameters(
+            alpha=0.0, bandwidth=Gbps(800), delta=0.0, reconfiguration_delay=0.0
+        )
+    )
+    theta_method: str = "auto"
+    path_rule: PathLengthRule = PathLengthRule.MAX_PAIR_HOPS
+    multiport_radix: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.theta_method not in _THETA_METHODS:
+            raise ConfigurationError(
+                f"unknown theta method {self.theta_method!r}; choose from "
+                f"{_THETA_METHODS}"
+            )
+        if not math.isclose(
+            self.topology.bandwidth, self.cost.bandwidth, rel_tol=1e-9
+        ):
+            # theta is normalized by the topology's link rates while
+            # beta = 1/cost.bandwidth; letting them diverge silently
+            # would price the two sides of Eq. 3 with different links.
+            raise ConfigurationError(
+                f"topology bandwidth {self.topology.bandwidth} and cost "
+                f"bandwidth {self.cost.bandwidth} disagree; a scenario has "
+                f"one transceiver bandwidth"
+            )
+        if not isinstance(self.path_rule, PathLengthRule):
+            object.__setattr__(
+                self, "path_rule", PathLengthRule(str(self.path_rule))
+            )
+        if self.multiport_radix is not None:
+            if int(self.multiport_radix) < 1:
+                raise ConfigurationError(
+                    f"multiport_radix must be >= 1, got {self.multiport_radix}"
+                )
+            object.__setattr__(self, "multiport_radix", int(self.multiport_radix))
+            if self.collective.algorithm != "alltoall":
+                raise ConfigurationError(
+                    "multiport_radix requires the 'alltoall' collective "
+                    "(its shift steps carry no data dependencies and may "
+                    f"be grouped), got {self.collective.algorithm!r}"
+                )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        algorithm: str,
+        n: int,
+        message_size: float,
+        *,
+        alpha: float,
+        delta: float,
+        reconfiguration_delay: float,
+        bandwidth: float = Gbps(800),
+        topology: str = "ring",
+        topology_options: Mapping[str, object] | None = None,
+        collective_options: Mapping[str, object] | None = None,
+        theta_method: str = "auto",
+        path_rule: PathLengthRule | str = PathLengthRule.MAX_PAIR_HOPS,
+        multiport_radix: int | None = None,
+        name: str = "",
+    ) -> "Scenario":
+        """Build a scenario from flat arguments (the common case)."""
+        return cls(
+            topology=TopologySpec(
+                family=topology,
+                n=n,
+                bandwidth=bandwidth,
+                options=_freeze_options(topology_options),
+            ),
+            collective=CollectiveSpec(
+                algorithm=algorithm,
+                message_size=message_size,
+                options=_freeze_options(collective_options),
+            ),
+            cost=CostParameters(
+                alpha=alpha,
+                bandwidth=bandwidth,
+                delta=delta,
+                reconfiguration_delay=reconfiguration_delay,
+            ),
+            theta_method=theta_method,
+            path_rule=path_rule,
+            multiport_radix=multiport_radix,
+            name=name,
+        )
+
+    def replace(self, **kwargs) -> "Scenario":
+        """A copy with fields overridden (validation re-runs)."""
+        return replace(self, **kwargs)
+
+    # -- materialization -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Rank count of the domain."""
+        return self.topology.n
+
+    def build_topology(self) -> Topology:
+        """The base topology instance (memoized per spec)."""
+        return self.topology.build()
+
+    def build_collective(self) -> Collective:
+        """The collective instance for this domain."""
+        return self.collective.build(self.topology.n)
+
+    def step_costs(
+        self, cache: ThroughputCache | None = default_cache
+    ) -> tuple[StepCost, ...] | tuple[MultiPortStepCost, ...]:
+        """Per-step ``(m_i, theta_i, l_i)`` facts on the base topology.
+
+        With ``multiport_radix`` set, the steps are the multi-ported
+        All-to-All groupings and the costs expose the same
+        ``base_cost`` / ``matched_cost`` protocol.
+
+        Step costs do not depend on ``alpha``, ``delta``, or
+        ``alpha_r``, so scenarios that differ only in those scalars
+        share one evaluation: results are memoized per theta cache
+        (a grid sweep's 36 cells cost as many evaluations as it has
+        distinct message sizes).
+        """
+        if cache is None:
+            return self._compute_step_costs(None)
+        key = (
+            self.topology,
+            self.collective,
+            self.cost.bandwidth,
+            self.theta_method,
+            self.path_rule,
+            self.multiport_radix,
+        )
+        with _STEP_COSTS_MEMO_LOCK:
+            table = _STEP_COSTS_MEMO.get(cache)
+            if table is None:
+                table = {}
+                _STEP_COSTS_MEMO[cache] = table
+            cached = table.get(key)
+        if cached is not None:
+            return cached
+        costs = self._compute_step_costs(cache)
+        with _STEP_COSTS_MEMO_LOCK:
+            kept = table.setdefault(key, costs)
+            while len(table) > _STEP_COSTS_MEMO_LIMIT:
+                table.pop(next(iter(table)))
+            return kept
+
+    def _compute_step_costs(
+        self, cache: ThroughputCache | None
+    ) -> tuple[StepCost, ...] | tuple[MultiPortStepCost, ...]:
+        topology = self.build_topology()
+        if self.multiport_radix is not None:
+            steps = multiport_alltoall(
+                self.topology.n,
+                self.collective.message_size,
+                self.multiport_radix,
+            )
+            return evaluate_multiport_step_costs(
+                steps, topology, self.cost, self.multiport_radix, cache=cache
+            )
+        return evaluate_step_costs(
+            self.build_collective(),
+            topology,
+            self.cost,
+            theta_method=self.theta_method,
+            path_rule=self.path_rule,
+            cache=cache,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable, config-file friendly)."""
+        out: dict[str, object] = {
+            "topology": self.topology.to_dict(),
+            "collective": self.collective.to_dict(),
+            "cost": {
+                "alpha": self.cost.alpha,
+                "bandwidth": self.cost.bandwidth,
+                "delta": self.cost.delta,
+                "reconfiguration_delay": self.cost.reconfiguration_delay,
+            },
+            "theta_method": self.theta_method,
+            "path_rule": self.path_rule.value,
+        }
+        if self.multiport_radix is not None:
+            out["multiport_radix"] = self.multiport_radix
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        _check_keys(
+            data,
+            {
+                "topology",
+                "collective",
+                "cost",
+                "theta_method",
+                "path_rule",
+                "multiport_radix",
+                "name",
+            },
+            "scenario",
+        )
+        cost_data = dict(data.get("cost", {}))
+        _check_keys(
+            cost_data,
+            {"alpha", "bandwidth", "delta", "reconfiguration_delay"},
+            "cost",
+        )
+        radix = data.get("multiport_radix")
+        return cls(
+            topology=TopologySpec.from_dict(data.get("topology", {})),
+            collective=CollectiveSpec.from_dict(data.get("collective", {})),
+            cost=CostParameters(
+                alpha=float(cost_data.get("alpha", 0.0)),
+                bandwidth=float(cost_data.get("bandwidth", Gbps(800))),
+                delta=float(cost_data.get("delta", 0.0)),
+                reconfiguration_delay=float(
+                    cost_data.get("reconfiguration_delay", 0.0)
+                ),
+            ),
+            theta_method=str(data.get("theta_method", "auto")),
+            path_rule=PathLengthRule(
+                str(data.get("path_rule", PathLengthRule.MAX_PAIR_HOPS.value))
+            ),
+            multiport_radix=None if radix is None else int(radix),
+            name=str(data.get("name", "")),
+        )
+
+
+def scenario_grid(
+    base: Scenario,
+    message_sizes: Sequence[float],
+    alpha_rs: Sequence[float],
+) -> list[Scenario]:
+    """The row-major (message size x alpha_r) sweep of ``base``.
+
+    This is the grid behind every Figure 1 / Figure 2 heatmap; feed the
+    result to :func:`repro.planner.plan_many`.
+    """
+    message_sizes = tuple(float(m) for m in message_sizes)
+    alpha_rs = tuple(float(a) for a in alpha_rs)
+    if not message_sizes or not alpha_rs:
+        raise ConfigurationError("both grid axes need at least one value")
+    return [
+        base.replace(
+            collective=replace(base.collective, message_size=message_size),
+            cost=base.cost.with_reconfiguration_delay(alpha_r),
+        )
+        for message_size in message_sizes
+        for alpha_r in alpha_rs
+    ]

@@ -1,4 +1,5 @@
-"""Simulator benches: model agreement, allocator cost, event throughput."""
+"""Simulator benches: model agreement, allocator cost, event throughput,
+and batched sim-in-the-loop execution (``sim_many``)."""
 
 from __future__ import annotations
 
@@ -6,9 +7,11 @@ import pytest
 
 from repro.collectives import make_collective
 from repro.core import CostParameters, Schedule
-from repro.sim import FlowLevelSimulator, simulate
+from repro.matching import Matching
+from repro.planner import Scenario, scenario_grid
+from repro.sim import FlowLevelSimulator, allocate_rates, sim_many, simulate
 from repro.topology import ring
-from repro.units import Gbps, MiB, ns, us
+from repro.units import Gbps, KiB, MiB, ns, us
 
 B = Gbps(800)
 N = 64
@@ -62,3 +65,46 @@ def test_sim_event_throughput(benchmark, shared_cache):
     schedule = Schedule.static(collective.num_steps)
     result = benchmark(lambda: simulator.run(collective, schedule))
     assert len(result.trace) >= 3 * collective.num_steps
+
+
+@pytest.mark.benchmark(group="sim")
+def test_sim_many_grid(benchmark, shared_cache, results_dir):
+    """Plan + execute a 4x4 sweep through sim_many(parallel=4)."""
+    base = Scenario.create(
+        "allreduce_swing",
+        n=16,
+        message_size=KiB(64),
+        bandwidth=B,
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+    )
+    grid = scenario_grid(
+        base,
+        [KiB(64), MiB(1), MiB(16), MiB(256)],
+        [us(1), us(10), us(100), us(1000)],
+    )
+    results = benchmark.pedantic(
+        lambda: sim_many(grid, parallel=4, cache=shared_cache),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{r.scenario.collective.message_size:12.0f}b "
+        f"alpha_r={r.scenario.cost.reconfiguration_delay:8.2e}s "
+        f"sim={r.sim_time:.6e}s err={r.model_error:.2e}"
+        for r in results
+    ]
+    (results_dir / "sim_many_grid.txt").write_text("\n".join(lines) + "\n")
+    assert all(r.model_error < 1e-9 for r in results)
+
+
+@pytest.mark.benchmark(group="sim")
+def test_maxmin_allocator_n256(benchmark):
+    """Vectorized progressive filling at n=256 (256 flows, 512 edges)."""
+    topology = ring(256, B)
+    matching = Matching.shift(256, 7)
+    flows = benchmark(
+        lambda: allocate_rates(topology, matching, B, method="maxmin")
+    )
+    assert len(flows) == 256

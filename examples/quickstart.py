@@ -72,6 +72,15 @@ def main() -> None:
         print(f"theta cache        : {stats.size} entries, "
               f"{stats.hit_rate:.0%} hit rate")
 
+    # 4. Close the loop: execute the plan on the flow-level simulator
+    #    and check the measurement against the analytic prediction
+    #    (see examples/sim_in_the_loop.py for the full workflow).
+    from repro.sim import simulate_plan
+
+    measured = simulate_plan(result)
+    print(f"\nsimulated execution: {format_time(measured.sim_time)} "
+          f"(model error {measured.model_error:.1e})")
+
 
 if __name__ == "__main__":
     main()

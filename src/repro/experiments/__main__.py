@@ -4,14 +4,19 @@ Subcommands:
 
 * ``figure1 [--panel a..h] [--n N] [--csv DIR] [--parallel N]`` — Figure 1.
 * ``figure2 [--n N] [--csv DIR] [--parallel N]``                — Figure 2.
-* ``plan [...]``  — plan one scenario through the unified planner.
-* ``list``        — available collectives and solvers.
+* ``plan [...]``      — plan one scenario through the unified planner.
+* ``simulate [...]``  — plan a scenario, then *execute* the plan on the
+  flow-level simulator and report measured vs analytic time.
+* ``list``            — available collectives and solvers.
 
-The ``plan`` subcommand is config-driven: ``--scenario FILE`` loads a
-declarative :class:`~repro.planner.Scenario` from JSON (the
-``to_dict`` format), ``--dump-scenario`` prints the JSON for the
-scenario described by the flags, and ``--solver all`` compares every
-registered engine on the same scenario.
+The ``plan`` and ``simulate`` subcommands are config-driven:
+``--scenario FILE`` loads a declarative :class:`~repro.planner.Scenario`
+from JSON (the ``to_dict`` format), ``--dump-scenario`` prints the JSON
+for the scenario described by the flags, and (for ``plan``)
+``--solver all`` compares every registered engine on the same scenario.
+``simulate --json FILE`` writes the full :class:`~repro.sim.SimResult`
+dict — per-step timings and link utilization included — for downstream
+tooling.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from pathlib import Path
 
 from ..collectives.registry import available_collectives
 from ..planner import Scenario, available_solvers, plan
+from ..sim import RATE_METHODS, simulate_plan
 from ..units import Gbps, MiB, format_time, ns, us
 from .config import PAPER_CONFIG
 from .figure1 import run_figure1
@@ -60,47 +66,79 @@ def _build_parser() -> argparse.ArgumentParser:
     plan_cmd = sub.add_parser(
         "plan", help="plan one scenario with a registered solver"
     )
-    plan_cmd.add_argument(
-        "--scenario",
-        type=Path,
-        default=None,
-        help="JSON scenario file (Scenario.to_dict format); overrides flags",
-    )
-    plan_cmd.add_argument(
-        "--algorithm", default="allreduce_recursive_doubling",
-        help="collective algorithm name",
-    )
-    plan_cmd.add_argument("--n", type=int, default=64, help="GPU count")
-    plan_cmd.add_argument(
-        "--message-mib", type=float, default=64.0, help="per-GPU message (MiB)"
-    )
-    plan_cmd.add_argument(
-        "--bandwidth-gbps", type=float, default=800.0,
-        help="transceiver bandwidth (Gb/s)",
-    )
-    plan_cmd.add_argument(
-        "--alpha-ns", type=float, default=100.0, help="per-step latency (ns)"
-    )
-    plan_cmd.add_argument(
-        "--delta-ns", type=float, default=100.0, help="per-hop delay (ns)"
-    )
-    plan_cmd.add_argument(
-        "--alpha-r-us", type=float, default=10.0,
-        help="reconfiguration delay (us)",
-    )
+    _add_scenario_flags(plan_cmd)
     plan_cmd.add_argument(
         "--solver",
         default="dp",
         help="registered solver name, or 'all' to compare every solver",
     )
-    plan_cmd.add_argument(
-        "--dump-scenario",
-        action="store_true",
-        help="print the scenario JSON instead of planning",
+
+    sim_cmd = sub.add_parser(
+        "simulate",
+        help="plan one scenario, then execute the plan on the flow simulator",
+    )
+    _add_scenario_flags(sim_cmd)
+    sim_cmd.add_argument(
+        "--solver", default="dp", help="registered solver name"
+    )
+    sim_cmd.add_argument(
+        "--rate-method",
+        default="mcf",
+        choices=RATE_METHODS,
+        help="flow rate allocation on the base topology",
+    )
+    sim_cmd.add_argument(
+        "--accounting",
+        default="paper",
+        choices=("paper", "physical"),
+        help="reconfiguration accounting mode",
+    )
+    sim_cmd.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the full SimResult dict to this JSON file",
     )
 
     sub.add_parser("list", help="list available collectives and solvers")
     return parser
+
+
+def _add_scenario_flags(command: argparse.ArgumentParser) -> None:
+    """The declarative-scenario flags shared by plan and simulate."""
+    command.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        help="JSON scenario file (Scenario.to_dict format); overrides flags",
+    )
+    command.add_argument(
+        "--algorithm", default="allreduce_recursive_doubling",
+        help="collective algorithm name",
+    )
+    command.add_argument("--n", type=int, default=64, help="GPU count")
+    command.add_argument(
+        "--message-mib", type=float, default=64.0, help="per-GPU message (MiB)"
+    )
+    command.add_argument(
+        "--bandwidth-gbps", type=float, default=800.0,
+        help="transceiver bandwidth (Gb/s)",
+    )
+    command.add_argument(
+        "--alpha-ns", type=float, default=100.0, help="per-step latency (ns)"
+    )
+    command.add_argument(
+        "--delta-ns", type=float, default=100.0, help="per-hop delay (ns)"
+    )
+    command.add_argument(
+        "--alpha-r-us", type=float, default=10.0,
+        help="reconfiguration delay (us)",
+    )
+    command.add_argument(
+        "--dump-scenario",
+        action="store_true",
+        help="print the scenario JSON instead of running",
+    )
 
 
 def _plan_scenario(args: argparse.Namespace) -> Scenario:
@@ -160,6 +198,52 @@ def _run_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_simulate(args: argparse.Namespace) -> int:
+    scenario = _plan_scenario(args)
+    if args.dump_scenario:
+        print(json.dumps(scenario.to_dict(), indent=2))
+        return 0
+    result = simulate_plan(
+        scenario,
+        solver=args.solver,
+        rate_method=args.rate_method,
+        accounting=args.accounting,
+    )
+    spec = scenario.collective
+    decisions = "".join(_decision_char(d) for d in result.decisions)
+    print(
+        f"scenario: {spec.algorithm}, n={scenario.n}, "
+        f"{spec.message_size / MiB(1):g} MiB per GPU, "
+        f"alpha_r={format_time(scenario.cost.reconfiguration_delay)}"
+    )
+    print(
+        f"  plan ({result.solver}): {format_time(result.analytic_time):>10}  "
+        f"schedule={decisions}"
+    )
+    print(
+        f"  simulated ({result.rate_method}, {result.accounting}): "
+        f"{format_time(result.sim_time):>10}  "
+        f"model error={result.model_error:.2e}"
+    )
+    print(
+        f"  reconfigurations: {result.n_reconfigurations} "
+        f"({format_time(result.reconfiguration_time)} total), "
+        f"communication {format_time(result.communication_time)}"
+    )
+    if result.link_utilization:
+        busiest = sorted(
+            result.link_utilization, key=lambda item: -item[1]
+        )[:3]
+        rendered = ", ".join(
+            f"{u}->{v}: {value:.1%}" for (u, v), value in busiest
+        )
+        print(f"  busiest base links: {rendered}")
+    if args.json is not None:
+        args.json.write_text(json.dumps(result.to_dict(), indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -174,6 +258,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "plan":
         return _run_plan(args)
+
+    if args.command == "simulate":
+        return _run_simulate(args)
 
     config = PAPER_CONFIG
     if args.n is not None:

@@ -7,15 +7,24 @@ handful of distinct theta computations.  :class:`ThroughputCache` keys
 results by (topology fingerprint, matching) and is shared by default
 through a module-level instance.
 
-The cache is thread-safe: :func:`repro.planner.plan_many` shares one
-instance across worker threads, so lookup/insert and the statistics
-counters are guarded by a lock.  :meth:`ThroughputCache.stats` returns a
-consistent :class:`CacheStats` snapshot for reporting.
+The cache is thread-safe *and* compute-once: when several of
+:func:`repro.planner.plan_many`'s worker threads race on the same key,
+exactly one runs the LP solve while the others wait on it, so
+
+* no duplicate work is done (LP solves take milliseconds), and
+* the statistics are deterministic — ``misses`` equals the number of
+  distinct keys computed and ``hits`` equals every other lookup,
+  regardless of thread interleaving.  The concurrency test suite pins
+  this exactness.
+
+:meth:`ThroughputCache.stats` returns a consistent :class:`CacheStats`
+snapshot for reporting.
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import Future
 from dataclasses import dataclass
 from collections.abc import Callable
 
@@ -45,20 +54,39 @@ class CacheStats:
         return self.hits / lookups if lookups else 0.0
 
 
+# Compute-once memos (this module's ThroughputCache and the planner's
+# step-cost memo) store a bare concurrent.futures.Future as the
+# in-flight marker: the claiming thread computes and publishes via
+# set_result / set_exception while the rest block on .result(), which
+# re-raises the owner's exception in every waiter.
+
+
 class ThroughputCache:
-    """A keyed, thread-safe memo table for theta values."""
+    """A keyed, thread-safe, compute-once memo table for theta values."""
 
     def __init__(self) -> None:
-        self._table: dict[tuple, float] = {}
+        self._table: dict[tuple, float | Future] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._table)
+        with self._lock:
+            return self._n_complete()
+
+    def _n_complete(self) -> int:
+        """Completed entries only (callers hold the lock)."""
+        return sum(
+            1 for value in self._table.values() if not isinstance(value, Future)
+        )
 
     def clear(self) -> None:
-        """Drop all entries and reset statistics."""
+        """Drop all entries and reset statistics.
+
+        In-flight computations are left to finish and still serve their
+        waiters, but they detect the eviction and do not resurrect
+        their entries into the cleared table.
+        """
         with self._lock:
             self._table.clear()
             self.hits = 0
@@ -68,7 +96,7 @@ class ThroughputCache:
         """Hits / misses / size as one consistent snapshot."""
         with self._lock:
             return CacheStats(
-                hits=self.hits, misses=self.misses, size=len(self._table)
+                hits=self.hits, misses=self.misses, size=self._n_complete()
             )
 
     def _key(self, topology: Topology, matching: Matching, tag: str) -> tuple:
@@ -85,24 +113,41 @@ class ThroughputCache:
 
         ``tag`` separates entries produced by different estimators (the
         exact LP vs. proxies) for the same pattern.  ``compute`` runs
-        outside the lock (LP solves can take milliseconds); two threads
-        racing on the same key may both compute, but the table stays
-        consistent and the value is deterministic either way.
+        outside the lock (LP solves can take milliseconds); when threads
+        race on one key, the first claims it and computes while the rest
+        block on the result, so each key is computed exactly once and
+        counted as exactly one miss.  If ``compute`` raises, the error
+        propagates to the owner and every waiter, and the key is
+        released for a later retry.
         """
         key = self._key(topology, matching, tag)
         with self._lock:
-            if key in self._table:
-                self.hits += 1
-                return self._table[key]
-        value = float(compute())
-        with self._lock:
-            if key in self._table:
-                # Another thread computed it first; count our lookup as
-                # a miss (we did the work) but keep the stored value.
+            entry = self._table.get(key)
+            if entry is None:
+                cell = Future()
+                self._table[key] = cell
                 self.misses += 1
-                return self._table[key]
-            self.misses += 1
-            self._table[key] = value
+            else:
+                self.hits += 1
+                if not isinstance(entry, Future):
+                    return entry
+        if entry is not None:
+            # Another thread owns the computation; wait for its result.
+            return entry.result()
+        try:
+            value = float(compute())
+        except BaseException as exc:
+            with self._lock:
+                if self._table.get(key) is cell:
+                    del self._table[key]
+            cell.set_exception(exc)
+            raise
+        with self._lock:
+            # clear() may have evicted our in-flight cell; don't
+            # resurrect the entry, but still serve current waiters.
+            if self._table.get(key) is cell:
+                self._table[key] = value
+        cell.set_result(value)
         return value
 
 

@@ -15,10 +15,23 @@ from dataclasses import dataclass, replace
 from collections.abc import Mapping
 
 from ..core.schedule import Decision, Schedule, ScheduleCost
+from ..exceptions import ConfigurationError
 from ..flows.cache import CacheStats
 from .scenario import Options, Scenario, _freeze_options, _thaw_options
 
 __all__ = ["PlanRequest", "PlanResult"]
+
+#: The two-state decision labels; anything else (``"pool:<i>"``) marks a
+#: richer solver state space with no executable two-state schedule.
+_TWO_STATE_LABELS = {Decision.BASE.value, Decision.MATCHED.value}
+
+
+def _require(data: Mapping[str, object], key: str, what: str) -> object:
+    """A required dict field, or :class:`ConfigurationError` naming it
+    (malformed input must not surface as a bare ``KeyError``)."""
+    if key not in data:
+        raise ConfigurationError(f"{what} dict is missing the {key!r} field")
+    return data[key]
 
 
 @dataclass(frozen=True)
@@ -95,6 +108,138 @@ class PlanResult:
     def with_cache_stats(self, stats: CacheStats | None) -> "PlanResult":
         """A copy carrying a cache snapshot (used by ``plan``)."""
         return replace(self, cache_stats=stats)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable), inverse of
+        :meth:`from_dict`.
+
+        The schedule is stored as the compact ``"GMMG"`` string (G =
+        base, M = matched), or ``None`` for plans whose solver state
+        space is richer than two states (the pool DP).
+        """
+        out: dict[str, object] = {
+            "scenario": self.request.scenario.to_dict(),
+            "solver": self.solver,
+            "schedule": None if self.schedule is None else str(self.schedule),
+            "decisions": list(self.decisions),
+            "total_time": self.total_time,
+            "n_reconfigurations": self.n_reconfigurations,
+        }
+        if self.request.options:
+            out["options"] = self.request.options_dict
+        if self.cost is not None:
+            out["cost"] = {
+                "total": self.cost.total,
+                "latency_term": self.cost.latency_term,
+                "propagation_term": self.cost.propagation_term,
+                "bandwidth_term": self.cost.bandwidth_term,
+                "reconfiguration_term": self.cost.reconfiguration_term,
+                "n_reconfigurations": self.cost.n_reconfigurations,
+                "per_step": list(self.cost.per_step),
+            }
+        if self.metadata:
+            out["metadata"] = self.metadata_dict
+        if self.cache_stats is not None:
+            out["cache_stats"] = {
+                "hits": self.cache_stats.hits,
+                "misses": self.cache_stats.misses,
+                "size": self.cache_stats.size,
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PlanResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        The embedded scenario is fully validated (via
+        :meth:`Scenario.from_dict`); the solver name is *not* required
+        to be registered, so results can be inspected on hosts without
+        the engine that produced them.
+        """
+        solver = str(data.get("solver", "dp"))
+        request = PlanRequest(
+            scenario=Scenario.from_dict(data.get("scenario", {})),
+            solver=solver,
+            options=_freeze_options(data.get("options")),
+        )
+        decisions = tuple(str(d) for d in data.get("decisions", ()))
+        if not decisions:
+            raise ConfigurationError("a plan result needs at least one decision")
+        schedule = None
+        schedule_str = data.get("schedule")
+        if schedule_str is not None:
+            if not all(label in _TWO_STATE_LABELS for label in decisions):
+                raise ConfigurationError(
+                    "a two-state schedule cannot carry pool decision labels"
+                )
+            chars = str(schedule_str)
+            if not chars or set(chars) - {"G", "M"}:
+                raise ConfigurationError(
+                    f"schedule string must be non-empty G/M glyphs, got "
+                    f"{schedule_str!r}"
+                )
+            schedule = Schedule(
+                tuple(
+                    Decision.BASE if char == "G" else Decision.MATCHED
+                    for char in chars
+                )
+            )
+            if len(schedule.decisions) != len(decisions):
+                raise ConfigurationError(
+                    f"schedule string covers {len(schedule.decisions)} steps "
+                    f"but {len(decisions)} decisions were given"
+                )
+            if any(
+                d.value != label
+                for d, label in zip(schedule.decisions, decisions)
+            ):
+                raise ConfigurationError(
+                    f"schedule string {chars!r} contradicts the decisions "
+                    f"list {list(decisions)!r}"
+                )
+        cost_data = data.get("cost")
+        cost = None
+        if cost_data is not None:
+            cost = ScheduleCost(
+                total=float(_require(cost_data, "total", "cost")),
+                latency_term=float(_require(cost_data, "latency_term", "cost")),
+                propagation_term=float(
+                    _require(cost_data, "propagation_term", "cost")
+                ),
+                bandwidth_term=float(
+                    _require(cost_data, "bandwidth_term", "cost")
+                ),
+                reconfiguration_term=float(
+                    _require(cost_data, "reconfiguration_term", "cost")
+                ),
+                n_reconfigurations=int(
+                    _require(cost_data, "n_reconfigurations", "cost")
+                ),
+                per_step=tuple(
+                    float(v) for v in _require(cost_data, "per_step", "cost")
+                ),
+            )
+        stats_data = data.get("cache_stats")
+        stats = None
+        if stats_data is not None:
+            stats = CacheStats(
+                hits=int(_require(stats_data, "hits", "cache_stats")),
+                misses=int(_require(stats_data, "misses", "cache_stats")),
+                size=int(_require(stats_data, "size", "cache_stats")),
+            )
+        return cls(
+            request=request,
+            schedule=schedule,
+            decisions=decisions,
+            total_time=float(_require(data, "total_time", "plan result")),
+            cost=cost,
+            n_reconfigurations=int(
+                _require(data, "n_reconfigurations", "plan result")
+            ),
+            solver=solver,
+            metadata=_freeze_options(data.get("metadata")),
+            cache_stats=stats,
+        )
 
     @classmethod
     def from_schedule(

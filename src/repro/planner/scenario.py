@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import threading
 import weakref
+from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from collections.abc import Mapping, Sequence
 
@@ -272,6 +273,13 @@ def _check_keys(
 # per-cache tables are FIFO-bounded.  Entries never go stale — step
 # costs are a pure function of the key — so clearing the theta cache
 # does not require clearing this memo.
+#
+# The memo is compute-once, like the ThroughputCache itself: when
+# plan_many worker threads race on one key, a single thread evaluates
+# while the rest wait on its in-flight Future marker.  That keeps the
+# shared theta cache's hit/miss statistics exact (each step-cost
+# evaluation — and hence each theta lookup — happens exactly once per
+# key, for any interleaving).
 _STEP_COSTS_MEMO: "weakref.WeakKeyDictionary[ThroughputCache, dict]" = (
     weakref.WeakKeyDictionary()
 )
@@ -444,15 +452,32 @@ class Scenario:
             if table is None:
                 table = {}
                 _STEP_COSTS_MEMO[cache] = table
-            cached = table.get(key)
-        if cached is not None:
-            return cached
-        costs = self._compute_step_costs(cache)
+            entry = table.get(key)
+            if entry is None:
+                cell = Future()
+                table[key] = cell
+        if entry is not None:
+            if not isinstance(entry, Future):
+                return entry
+            return entry.result()
+        try:
+            costs = self._compute_step_costs(cache)
+        except BaseException as exc:
+            with _STEP_COSTS_MEMO_LOCK:
+                if table.get(key) is cell:
+                    del table[key]
+            cell.set_exception(exc)
+            raise
         with _STEP_COSTS_MEMO_LOCK:
-            kept = table.setdefault(key, costs)
-            while len(table) > _STEP_COSTS_MEMO_LIMIT:
-                table.pop(next(iter(table)))
-            return kept
+            if table.get(key) is cell:
+                table[key] = costs
+            completed = [
+                k for k, v in table.items() if not isinstance(v, Future)
+            ]
+            for stale in completed[: max(len(completed) - _STEP_COSTS_MEMO_LIMIT, 0)]:
+                table.pop(stale)
+        cell.set_result(costs)
+        return costs
 
     def _compute_step_costs(
         self, cache: ThroughputCache | None

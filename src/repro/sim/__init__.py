@@ -1,6 +1,18 @@
-"""Flow-level simulation of collectives on reconfigurable fabrics."""
+"""Flow-level simulation of collectives on reconfigurable fabrics.
 
+Two layers:
+
+* the simulator proper (:class:`FlowLevelSimulator`, :func:`simulate`)
+  operating on library objects (collectives, topologies, schedules);
+* the planner-facing executor (:func:`simulate_plan`, :func:`sim_many`,
+  :class:`SimResult`) that lowers declarative
+  :class:`~repro.planner.Scenario` / :class:`~repro.planner.PlanResult`
+  items onto the simulator — plan it, then replay it.
+"""
+
+from .batch import sim_many
 from .events import EventQueue
+from .executor import SimResult, SimStep, simulate_plan
 from .flowsim import FlowLevelSimulator, SimulationResult, StepTiming
 from .rates import RATE_METHODS, FlowRate, allocate_rates
 from .runner import SimulationReport, simulate
@@ -16,6 +28,10 @@ __all__ = [
     "RATE_METHODS",
     "SimulationReport",
     "simulate",
+    "SimResult",
+    "SimStep",
+    "simulate_plan",
+    "sim_many",
     "EventKind",
     "Trace",
     "TraceEvent",

@@ -1,0 +1,474 @@
+"""Sim-in-the-loop execution of planned schedules.
+
+The planner answers "reconfigure or not, per step?" analytically; this
+module closes the loop by *executing* the answer on the event-driven
+flow simulator and reporting what actually happened:
+
+* :func:`simulate_plan` lowers a :class:`~repro.planner.PlanResult` (or
+  plans a :class:`~repro.planner.Scenario` first) onto
+  :class:`~repro.sim.FlowLevelSimulator`, returning a :class:`SimResult`
+  with the measured completion time, per-step timing rows, link
+  utilization on the base fabric, and the analytic prediction it was
+  planned against;
+* :func:`repro.sim.sim_many` (in :mod:`repro.sim.batch`) batches the
+  same lowering over many scenarios, mirroring
+  :func:`repro.planner.plan_many`.
+
+Under the idealized settings (``mcf`` rates, ``paper`` accounting) the
+measured total provably equals the analytic Eq. 7 objective, and
+:func:`simulate_plan` asserts that invariant; with ``maxmin`` or
+``equal`` rates the gap *is* the measurement — how optimistic the
+model's max-concurrent-flow assumption is for a real transport.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from ..collectives.base import Collective
+from ..core.schedule import Decision, Schedule
+from ..exceptions import SimulationError
+from ..fabric.reconfiguration import ReconfigurationModel
+from ..flows import (
+    ThroughputCache,
+    commodities_from_matching,
+    default_cache,
+    max_concurrent_flow,
+)
+from ..planner import PlanResult, Scenario, plan
+from ..planner.result import _require
+from ..topology.base import Topology
+from .flowsim import FlowLevelSimulator, SimulationResult
+from .rates import RATE_METHODS
+
+__all__ = ["SimStep", "SimResult", "simulate_plan"]
+
+#: Relative tolerance of the simulator-equals-model correctness anchor.
+_MODEL_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SimStep:
+    """Measured timing of one executed collective step.
+
+    Attributes
+    ----------
+    index:
+        Step position within the collective.
+    decision:
+        Normalized label: ``"base"`` or ``"matched"``.
+    label:
+        The collective step's own label (e.g. ``"rs t=3"``).
+    reconfiguration:
+        Reconfiguration delay charged before this step, in seconds.
+    start:
+        Barrier time — when all ranks are ready to launch the step.
+    end:
+        When the slowest pair finished (transmission + propagation).
+    slowest_pair:
+        The ``(src, dst)`` pair that finished last, or ``None`` for an
+        empty step.
+    """
+
+    index: int
+    decision: str
+    label: str
+    reconfiguration: float
+    start: float
+    end: float
+    slowest_pair: tuple[int, int] | None
+
+    @property
+    def duration(self) -> float:
+        """Communication time of the step (alpha included,
+        reconfiguration and compute excluded)."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "index": self.index,
+            "decision": self.decision,
+            "label": self.label,
+            "reconfiguration": self.reconfiguration,
+            "start": self.start,
+            "end": self.end,
+            "slowest_pair": (
+                None if self.slowest_pair is None else list(self.slowest_pair)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimStep":
+        """Inverse of :meth:`to_dict`."""
+        pair = data.get("slowest_pair")
+        return cls(
+            index=int(_require(data, "index", "sim step")),
+            decision=str(_require(data, "decision", "sim step")),
+            label=str(data.get("label", "")),
+            reconfiguration=float(_require(data, "reconfiguration", "sim step")),
+            start=float(_require(data, "start", "sim step")),
+            end=float(_require(data, "end", "sim step")),
+            slowest_pair=None if pair is None else (pair[0], pair[1]),
+        )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """The measured outcome of executing one planned collective.
+
+    The simulated twin of :class:`~repro.planner.PlanResult`: where the
+    plan carries the solver's *predicted* completion time, a
+    :class:`SimResult` carries what the flow-level simulator *measured*
+    when the planned schedule was executed, step for step, plus the
+    plan itself so the two are always comparable.  Round-trips through
+    plain dicts (:meth:`to_dict` / :meth:`from_dict`) in the same style
+    as :class:`~repro.planner.Scenario` and
+    :class:`~repro.planner.PlanResult`.
+
+    Attributes
+    ----------
+    plan:
+        The plan that was executed (scenario, solver, schedule, and the
+        analytic cost prediction).
+    rate_method:
+        Flow-rate allocation used on the base topology (``"mcf"``,
+        ``"maxmin"``, or ``"equal"``).
+    accounting:
+        Reconfiguration accounting mode (``"paper"`` or ``"physical"``).
+    sim_time:
+        Measured completion time of the collective in seconds.
+    analytic_time:
+        The solver's predicted completion time (``plan.total_time``).
+    reconfiguration_time:
+        Total measured time spent reconfiguring the fabric.
+    n_reconfigurations:
+        Number of reconfiguration intervals the simulator executed.
+    steps:
+        Per-step timing rows, in execution order.
+    link_utilization:
+        ``((u, v), fraction)`` pairs for every base-topology link that
+        carried traffic: the fraction of ``capacity * makespan`` the
+        link spent transmitting.  Matched steps run on dedicated
+        circuits and do not load base links.  Empty when utilization
+        collection was disabled.
+    """
+
+    plan: PlanResult
+    rate_method: str
+    accounting: str
+    sim_time: float
+    analytic_time: float
+    reconfiguration_time: float
+    n_reconfigurations: int
+    steps: tuple[SimStep, ...]
+    link_utilization: tuple[tuple[tuple[object, object], float], ...] = ()
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def scenario(self) -> Scenario:
+        """The scenario that was planned and executed."""
+        return self.plan.scenario
+
+    @property
+    def solver(self) -> str:
+        """Name of the solver that produced the executed schedule."""
+        return self.plan.solver
+
+    @property
+    def decisions(self) -> tuple[str, ...]:
+        """Per-step decision labels of the executed schedule."""
+        return self.plan.decisions
+
+    @property
+    def model_error(self) -> float:
+        """Relative gap between measured and predicted completion time."""
+        if self.analytic_time == 0:
+            return 0.0
+        return abs(self.sim_time - self.analytic_time) / self.analytic_time
+
+    @property
+    def communication_time(self) -> float:
+        """Sum of per-step communication durations."""
+        return sum(step.duration for step in self.steps)
+
+    @property
+    def max_link_utilization(self) -> float:
+        """The busiest base link's utilization (0.0 if none collected)."""
+        return max((value for _, value in self.link_utilization), default=0.0)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "rate_method": self.rate_method,
+            "accounting": self.accounting,
+            "sim_time": self.sim_time,
+            "analytic_time": self.analytic_time,
+            "reconfiguration_time": self.reconfiguration_time,
+            "n_reconfigurations": self.n_reconfigurations,
+            "steps": [step.to_dict() for step in self.steps],
+            "link_utilization": [
+                [[u, v], value] for (u, v), value in self.link_utilization
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            plan=PlanResult.from_dict(_require(data, "plan", "sim result")),
+            rate_method=str(_require(data, "rate_method", "sim result")),
+            accounting=str(_require(data, "accounting", "sim result")),
+            sim_time=float(_require(data, "sim_time", "sim result")),
+            analytic_time=float(_require(data, "analytic_time", "sim result")),
+            reconfiguration_time=float(
+                _require(data, "reconfiguration_time", "sim result")
+            ),
+            n_reconfigurations=int(
+                _require(data, "n_reconfigurations", "sim result")
+            ),
+            steps=tuple(SimStep.from_dict(s) for s in data.get("steps", ())),
+            link_utilization=tuple(
+                ((edge[0], edge[1]), float(value))
+                for edge, value in data.get("link_utilization", ())
+            ),
+        )
+
+
+# -- lowering ----------------------------------------------------------------
+
+
+def _utilization(
+    topology: Topology,
+    collective: Collective,
+    schedule: Schedule,
+    result: SimulationResult,
+    scenario: Scenario,
+    rate_method: str,
+) -> tuple[tuple[tuple[object, object], float], ...]:
+    """Bits shipped per base link, as a fraction of capacity * makespan.
+
+    For ``maxmin`` / ``equal`` rates the flows follow the same shortest
+    paths the allocator priced, so the accounting is exact.  For
+    ``"mcf"`` the LP's optimal edge flows are recovered (one extra LP
+    solve per distinct base-step pattern) so split paths are credited to
+    the links that actually carried them.  Matched steps run on
+    dedicated circuits and leave base links idle.
+    """
+    makespan = result.total_time
+    if makespan <= 0:
+        return ()
+    bits: dict[tuple[object, object], float] = {}
+    mcf_flows: dict[object, tuple[float, tuple]] = {}
+    for step, decision in zip(collective.steps, schedule.decisions):
+        if decision is Decision.MATCHED:
+            continue
+        if step.volume <= 0 or len(step.matching) == 0:
+            continue
+        if rate_method == "mcf":
+            solved = mcf_flows.get(step.matching)
+            if solved is None:
+                lp = max_concurrent_flow(
+                    topology,
+                    commodities_from_matching(step.matching),
+                    reference_rate=scenario.cost.bandwidth,
+                    return_flows=True,
+                )
+                solved = (lp.theta, lp.edge_flows)
+                mcf_flows[step.matching] = solved
+            theta, edge_flows = solved
+            if theta <= 0 or edge_flows is None:
+                continue
+            # Each commodity ships theta units of theta-scaled demand;
+            # the fraction of its step.volume bits crossing edge e is
+            # f_k(e) / theta.
+            for flows in edge_flows:
+                for edge, flow in flows.items():
+                    bits[edge] = bits.get(edge, 0.0) + step.volume * flow / theta
+        else:
+            for src, dst in step.matching:
+                path = topology.shortest_path(src, dst)
+                for edge in zip(path, path[1:]):
+                    bits[edge] = bits.get(edge, 0.0) + step.volume
+    return tuple(
+        sorted(
+            (
+                (edge, volume / (topology.capacity(*edge) * makespan))
+                for edge, volume in bits.items()
+            ),
+            key=lambda item: repr(item[0]),
+        )
+    )
+
+
+def _should_check_model(
+    planned: PlanResult,
+    scenario: Scenario,
+    rate_method: str,
+    accounting: str,
+    compute_overlap: bool,
+) -> bool:
+    """Whether sim total must provably equal the analytic objective."""
+    return (
+        planned.cost is not None
+        and rate_method == "mcf"
+        and accounting == "paper"
+        and scenario.theta_method in ("auto", "lp", "closed")
+        and not compute_overlap
+        and "compute_times" not in planned.metadata_dict
+        and not math.isinf(planned.total_time)
+    )
+
+
+def simulate_plan(
+    item: PlanResult | Scenario,
+    solver: str = "dp",
+    rate_method: str = "mcf",
+    accounting: str = "paper",
+    reconfiguration_model: ReconfigurationModel | None = None,
+    compute_overlap: bool = False,
+    collect_utilization: bool = True,
+    check_model: bool = True,
+    cache: ThroughputCache | None = default_cache,
+    **options,
+) -> SimResult:
+    """Execute a planned collective on the flow-level simulator.
+
+    Parameters
+    ----------
+    item:
+        A finished :class:`~repro.planner.PlanResult` to execute, or a
+        :class:`~repro.planner.Scenario` to plan first (with ``solver``
+        and ``options``) and then execute.
+    solver:
+        Solver name for bare scenarios; must stay at its default when a
+        prepared plan is given.
+    rate_method:
+        Per-step flow rate policy on the base topology (``"mcf"``,
+        ``"maxmin"``, or ``"equal"``; see :mod:`repro.sim.rates`).
+    accounting:
+        ``"paper"`` (Eq. 7 semantics) or ``"physical"`` (explicit
+        circuit tracking via ``reconfiguration_model``).
+    reconfiguration_model:
+        Only for ``"physical"`` accounting; defaults to a constant
+        ``alpha_r`` delay.
+    compute_overlap:
+        Let per-step compute windows hide subsequent reconfigurations.
+    collect_utilization:
+        Also derive per-link utilization of the base fabric (an extra
+        LP solve per distinct base-step pattern under ``"mcf"``).
+    check_model:
+        Under the idealized settings, raise
+        :class:`~repro.exceptions.SimulationError` if the measured total
+        diverges from the analytic prediction beyond float tolerance —
+        the executor's correctness anchor.
+    cache:
+        Shared theta memo (also used when planning bare scenarios).
+    options:
+        Solver-specific options for bare scenarios (e.g.
+        ``compute_times`` for the overlap solver).
+
+    Returns
+    -------
+    SimResult
+        Measured timing, per-step rows, link utilization, and the plan.
+    """
+    if rate_method not in RATE_METHODS:
+        # Validated here and not only in allocate_rates: an all-matched
+        # schedule never reaches the allocator, and a silently accepted
+        # typo would also skip the model-check anchor.
+        raise SimulationError(
+            f"unknown rate method {rate_method!r}; choose from {RATE_METHODS}"
+        )
+    if isinstance(item, PlanResult):
+        if solver != "dp" or options:
+            raise SimulationError(
+                "pass solver/options only when simulating a Scenario; a "
+                "PlanResult already carries its solver choice"
+            )
+        planned = item
+    elif isinstance(item, Scenario):
+        planned = plan(item, solver=solver, cache=cache, **options)
+    else:
+        raise SimulationError(
+            f"simulate_plan expects a Scenario or PlanResult, got "
+            f"{type(item).__name__}"
+        )
+    scenario = planned.scenario
+    if scenario.multiport_radix is not None:
+        raise SimulationError(
+            "the flow-level simulator executes single-port schedules only "
+            "(multiport_radix must be None)"
+        )
+    if planned.schedule is None:
+        raise SimulationError(
+            f"solver {planned.solver!r} produced a plan without a two-state "
+            "schedule (pool-state plans are not executable on the flow "
+            "simulator yet)"
+        )
+
+    topology = scenario.build_topology()
+    collective = scenario.build_collective()
+    simulator = FlowLevelSimulator(
+        topology,
+        scenario.cost,
+        rate_method=rate_method,
+        accounting=accounting,
+        reconfiguration_model=reconfiguration_model,
+        cache=cache,
+    )
+    result = simulator.run(
+        collective, planned.schedule, compute_overlap=compute_overlap
+    )
+
+    if check_model and _should_check_model(
+        planned, scenario, rate_method, accounting, compute_overlap
+    ):
+        gap = abs(result.total_time - planned.total_time)
+        if gap > _MODEL_RTOL * max(planned.total_time, 1e-12):
+            raise SimulationError(
+                f"simulator ({result.total_time}) diverged from the "
+                f"planned analytic total ({planned.total_time}) by {gap}"
+            )
+
+    steps = tuple(
+        SimStep(
+            index=timing.index,
+            decision=planned.decisions[timing.index],
+            label=collective.steps[timing.index].label,
+            reconfiguration=timing.reconfiguration,
+            start=timing.start,
+            end=timing.end,
+            slowest_pair=timing.slowest_pair,
+        )
+        for timing in result.steps
+    )
+    utilization = (
+        _utilization(
+            topology,
+            collective,
+            planned.schedule,
+            result,
+            scenario,
+            rate_method,
+        )
+        if collect_utilization
+        else ()
+    )
+    return SimResult(
+        plan=planned,
+        rate_method=rate_method,
+        accounting=accounting,
+        sim_time=result.total_time,
+        analytic_time=planned.total_time,
+        reconfiguration_time=result.reconfiguration_time,
+        n_reconfigurations=result.n_reconfigurations,
+        steps=steps,
+        link_utilization=utilization,
+    )

@@ -10,11 +10,19 @@ the simulator can quantify the gap (ablation bench ``bench_sim``):
   shortest-path routes;
 * ``"equal"``    — each flow gets an equal share of its bottleneck edge
   under shortest-path routing (TCP-like static fair share).
+
+The max-min and equal-share allocators are vectorized with numpy over a
+(flow x edge) incidence matrix: progressive filling does one
+``O(F * E)`` masked reduction per saturation round instead of Python
+dict arithmetic per flow per edge, which keeps batched simulation
+(``sim_many`` at n=256) tractable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..exceptions import SimulationError
 from ..flows import (
@@ -42,64 +50,68 @@ class FlowRate:
     hops: float
 
 
-def _shortest_path_state(topology: Topology, matching: Matching):
+def _shortest_path_incidence(topology: Topology, matching: Matching):
+    """Shortest-path routing state as numpy arrays.
+
+    Returns ``(pairs, incidence, capacities)``: the (src, dst) pairs in
+    matching order, the boolean (flow x edge) incidence matrix of their
+    shortest paths, and the per-edge capacity vector (edges in
+    ``topology.edges()`` order).
+    """
     commodities = commodities_from_matching(matching)
     routing = route_shortest_paths(topology, commodities, reference_rate=1.0)
-    flow_edges: dict[tuple[int, int], list[tuple[object, object]]] = {}
-    for index, commodity in enumerate(commodities):
-        path = routing.paths[index][0][0]
-        flow_edges[(commodity.src, commodity.dst)] = list(zip(path, path[1:]))
-    return flow_edges
+    edge_index: dict[tuple[object, object], int] = {}
+    capacities = []
+    for u, v, capacity in topology.edges():
+        edge_index[(u, v)] = len(capacities)
+        capacities.append(capacity)
+    pairs = [(c.src, c.dst) for c in commodities]
+    incidence = np.zeros((len(pairs), len(capacities)), dtype=bool)
+    for k in range(len(pairs)):
+        path = routing.paths[k][0][0]
+        for edge in zip(path, path[1:]):
+            incidence[k, edge_index[edge]] = True
+    return pairs, incidence, np.array(capacities, dtype=float)
 
 
 def _maxmin_rates(
     topology: Topology, matching: Matching
 ) -> dict[tuple[int, int], float]:
-    """Progressive filling: repeatedly saturate the tightest edge."""
-    flow_edges = _shortest_path_state(topology, matching)
-    remaining_capacity = {(u, v): c for u, v, c in topology.edges()}
-    unfrozen = set(flow_edges)
-    rates: dict[tuple[int, int], float] = {}
-    while unfrozen:
-        # Edge pressure: capacity left / active flows crossing it.
-        pressure: dict[tuple[object, object], int] = {}
-        for flow in unfrozen:
-            for edge in flow_edges[flow]:
-                pressure[edge] = pressure.get(edge, 0) + 1
-        bottleneck_edge = min(
-            pressure, key=lambda e: remaining_capacity[e] / pressure[e]
-        )
-        fair_share = remaining_capacity[bottleneck_edge] / pressure[bottleneck_edge]
-        saturated = {
-            flow for flow in unfrozen if bottleneck_edge in flow_edges[flow]
-        }
-        for flow in saturated:
-            rates[flow] = fair_share
-            for edge in flow_edges[flow]:
-                remaining_capacity[edge] -= fair_share
+    """Progressive filling: repeatedly saturate the tightest edge.
+
+    Each round finds the edge with the smallest remaining
+    capacity-per-active-flow, freezes every flow crossing it at that
+    fair share, and subtracts the frozen bandwidth — all as masked numpy
+    reductions.  The fixed point is the (unique) max-min fair
+    allocation over the shortest-path routes.
+    """
+    pairs, incidence, capacities = _shortest_path_incidence(topology, matching)
+    rates = np.zeros(len(pairs))
+    active = np.ones(len(pairs), dtype=bool)
+    remaining = capacities.copy()
+    while active.any():
+        pressure = incidence[active].sum(axis=0)
+        share = np.where(pressure > 0, remaining / np.maximum(pressure, 1), np.inf)
+        bottleneck = int(np.argmin(share))
+        fair_share = float(share[bottleneck])
+        saturated = active & incidence[:, bottleneck]
+        rates[saturated] = fair_share
+        remaining -= fair_share * incidence[saturated].sum(axis=0)
         # Guard against float drift leaving tiny negative capacities.
-        for edge, capacity in remaining_capacity.items():
-            if capacity < 0:
-                remaining_capacity[edge] = 0.0
-        unfrozen -= saturated
-    return rates
+        np.maximum(remaining, 0.0, out=remaining)
+        active &= ~saturated
+    return {pair: float(rate) for pair, rate in zip(pairs, rates)}
 
 
 def _equal_share_rates(
     topology: Topology, matching: Matching
 ) -> dict[tuple[int, int], float]:
     """Each flow: min over its path of capacity / flows-on-edge."""
-    flow_edges = _shortest_path_state(topology, matching)
-    load: dict[tuple[object, object], int] = {}
-    for edges in flow_edges.values():
-        for edge in edges:
-            load[edge] = load.get(edge, 0) + 1
-    rates = {}
-    for flow, edges in flow_edges.items():
-        rates[flow] = min(
-            topology.capacity(u, v) / load[(u, v)] for u, v in edges
-        )
-    return rates
+    pairs, incidence, capacities = _shortest_path_incidence(topology, matching)
+    load = incidence.sum(axis=0)
+    share = np.where(load > 0, capacities / np.maximum(load, 1), np.inf)
+    rates = np.where(incidence, share[np.newaxis, :], np.inf).min(axis=1)
+    return {pair: float(rate) for pair, rate in zip(pairs, rates)}
 
 
 def allocate_rates(

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the Birkhoff-von Neumann
+pipeline: random doubly-stochastic matrices decompose into permutations
+whose weights sum to the matrix scale, and the decomposition
+reconstructs the input to < 1e-9.
+
+Random doubly-stochastic matrices with a zero diagonal (fabric traffic
+never targets its own rank) are generated as convex combinations of
+cyclic-shift permutations — every nonzero shift is a fixed-point-free
+permutation, and any convex combination of permutations is doubly
+stochastic by construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bvn import (
+    birkhoff_decomposition,
+    decompose_demand,
+    reconstruct,
+)
+from repro.bvn.doubly_stochastic import (
+    is_doubly_stochastic,
+    is_doubly_substochastic,
+    is_scaled_doubly_stochastic,
+    sinkhorn_scale,
+)
+from repro.exceptions import DecompositionError
+
+RECONSTRUCTION_TOL = 1e-9
+
+
+@st.composite
+def shift_convex_combinations(draw, max_n: int = 9, max_terms: int = 5):
+    """A doubly stochastic matrix with zero diagonal: a convex
+    combination of distinct nonzero cyclic shifts."""
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    n_terms = draw(st.integers(min_value=1, max_value=min(max_terms, n - 1)))
+    shifts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            min_size=n_terms,
+            max_size=n_terms,
+            unique=True,
+        )
+    )
+    raw_weights = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=n_terms,
+            max_size=n_terms,
+        )
+    )
+    weights = np.array(raw_weights) / np.sum(raw_weights)
+    matrix = np.zeros((n, n))
+    for weight, shift in zip(weights, shifts):
+        for i in range(n):
+            matrix[i, (i + shift) % n] += weight
+    return matrix
+
+
+@st.composite
+def positive_square_matrices(draw, max_n: int = 8):
+    """A strictly positive off-diagonal random matrix (zero diagonal),
+    the Sinkhorn-scalable case."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    flat = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0),
+            min_size=n * n,
+            max_size=n * n,
+        )
+    )
+    matrix = np.array(flat).reshape(n, n)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestBirkhoffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shift_convex_combinations())
+    def test_weights_sum_to_one(self, matrix):
+        terms = birkhoff_decomposition(matrix.copy())
+        assert sum(t.weight for t in terms) == pytest.approx(1.0, abs=1e-9)
+        assert all(t.weight > 0 for t in terms)
+
+    @settings(max_examples=60, deadline=None)
+    @given(shift_convex_combinations())
+    def test_every_component_is_a_permutation(self, matrix):
+        n = matrix.shape[0]
+        for term in birkhoff_decomposition(matrix.copy()):
+            # A full permutation: every rank appears exactly once as a
+            # source and exactly once as a destination.
+            assert len(term.matching) == n
+            assert sorted(src for src, _ in term.matching) == list(range(n))
+            assert sorted(dst for _, dst in term.matching) == list(range(n))
+
+    @settings(max_examples=60, deadline=None)
+    @given(shift_convex_combinations())
+    def test_reconstruction_error_below_1e9(self, matrix):
+        n = matrix.shape[0]
+        terms = birkhoff_decomposition(matrix.copy())
+        error = np.abs(reconstruct(terms, n) - matrix).max()
+        assert error < RECONSTRUCTION_TOL
+
+    @settings(max_examples=60, deadline=None)
+    @given(shift_convex_combinations())
+    def test_terminates_within_birkhoff_bound(self, matrix):
+        n = matrix.shape[0]
+        terms = birkhoff_decomposition(matrix.copy())
+        assert 1 <= len(terms) <= (n - 1) ** 2 + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shift_convex_combinations(),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_scaled_matrices_decompose_to_scale(self, matrix, scale):
+        """Weights of a scaled doubly stochastic matrix sum to its
+        common row/column sum (the per-GPU traffic volume)."""
+        scaled = matrix * scale
+        terms = birkhoff_decomposition(scaled.copy())
+        assert sum(t.weight for t in terms) == pytest.approx(
+            scale, rel=1e-9
+        )
+        error = np.abs(reconstruct(terms, matrix.shape[0]) - scaled).max()
+        assert error < RECONSTRUCTION_TOL * max(scale, 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shift_convex_combinations())
+    def test_greedy_decomposition_agrees_on_stochastic_inputs(self, matrix):
+        """decompose_demand (the generalized greedy variant) must also
+        reconstruct exactly on matrices the classic theorem covers."""
+        n = matrix.shape[0]
+        terms = decompose_demand(matrix.copy())
+        error = np.abs(reconstruct(terms, n) - matrix).max()
+        assert error < RECONSTRUCTION_TOL
+
+    def test_rejects_non_stochastic_input(self):
+        lopsided = np.array([[0.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(DecompositionError):
+            birkhoff_decomposition(lopsided)
+
+
+class TestDoublyStochasticProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shift_convex_combinations())
+    def test_predicates_recognize_generated_matrices(self, matrix):
+        assert is_doubly_stochastic(matrix)
+        assert is_scaled_doubly_stochastic(matrix)
+        assert is_doubly_substochastic(matrix, tol=1e-9)
+        assert not is_doubly_stochastic(matrix * 2.0)
+        assert is_scaled_doubly_stochastic(matrix * 2.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(positive_square_matrices())
+    def test_sinkhorn_produces_doubly_stochastic(self, matrix):
+        scaled = sinkhorn_scale(matrix)
+        assert is_doubly_stochastic(scaled, tol=1e-8)
+        # Scaling preserves the zero pattern (it only rescales rows/cols).
+        assert ((matrix == 0) == (scaled == 0)).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(shift_convex_combinations())
+    def test_sinkhorn_fixed_point(self, matrix):
+        """A doubly stochastic matrix is (numerically) a Sinkhorn fixed
+        point."""
+        scaled = sinkhorn_scale(matrix)
+        assert np.abs(scaled - matrix).max() < 1e-8
+
+    @settings(max_examples=40, deadline=None)
+    @given(positive_square_matrices())
+    def test_sinkhorn_then_decompose_round_trip(self, matrix):
+        """The full paper §3.2 pipeline: arbitrary demand -> Sinkhorn ->
+        matching decomposition -> reconstruction, end to end.  Sinkhorn
+        output is doubly stochastic only up to its convergence
+        tolerance, so the generalized greedy decomposition (which
+        accepts partial matchings in the residual) is the right tool —
+        the classic ``birkhoff_decomposition`` peel is reserved for
+        exactly-stochastic inputs."""
+        doubly_stochastic = sinkhorn_scale(matrix)
+        terms = decompose_demand(doubly_stochastic.copy())
+        n = matrix.shape[0]
+        error = np.abs(reconstruct(terms, n) - doubly_stochastic).max()
+        assert error < 1e-6
+        # Weights summing to exactly 1 is a *full-permutation* property;
+        # the greedy residual may peel partial matchings, so only the
+        # reconstruction bound is guaranteed here.

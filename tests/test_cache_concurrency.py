@@ -1,0 +1,166 @@
+"""ThroughputCache under contention: compute-once semantics and *exact*
+hit/miss counters across threads (satellite of the sim-in-the-loop PR).
+
+The cache used to let racing threads duplicate a computation and count
+a nondeterministic miss each; it now hands each key to exactly one
+thread while the rest wait, so for any interleaving:
+
+* ``compute`` runs exactly once per distinct key;
+* ``misses == distinct keys`` and ``hits == lookups - misses``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.flows import ThroughputCache
+from repro.matching import Matching
+from repro.planner import scenario_grid
+from repro.planner import Scenario, plan_many
+from repro.topology import ring
+from repro.units import Gbps, KiB, MiB, ns, us
+
+B = Gbps(800)
+
+
+class TestExactCounters:
+    N_THREADS = 8
+    N_ROUNDS = 25
+
+    def _run_threads(self, worker):
+        barrier = threading.Barrier(self.N_THREADS)
+        errors = []
+
+        def wrapped():
+            barrier.wait()
+            try:
+                worker()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=wrapped) for _ in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_compute_once_per_key(self):
+        cache = ThroughputCache()
+        topology = ring(8, B)
+        keys = [Matching.shift(8, k) for k in range(1, 5)]
+        compute_counts = {k: 0 for k in range(len(keys))}
+        count_lock = threading.Lock()
+
+        def make_compute(index):
+            def compute():
+                with count_lock:
+                    compute_counts[index] += 1
+                return float(index)
+
+            return compute
+
+        def worker():
+            for _ in range(self.N_ROUNDS):
+                for index, matching in enumerate(keys):
+                    value = cache.get_or_compute(
+                        topology, matching, make_compute(index)
+                    )
+                    assert value == float(index)
+
+        self._run_threads(worker)
+        # Exactly one computation per distinct key, however threads raced.
+        assert compute_counts == {k: 1 for k in range(len(keys))}
+
+    def test_counters_are_exact_not_racy(self):
+        cache = ThroughputCache()
+        topology = ring(8, B)
+        keys = [Matching.shift(8, k) for k in range(1, 5)]
+
+        def worker():
+            for _ in range(self.N_ROUNDS):
+                for index, matching in enumerate(keys):
+                    cache.get_or_compute(topology, matching, lambda: 1.0)
+
+        self._run_threads(worker)
+        stats = cache.stats()
+        lookups = self.N_THREADS * self.N_ROUNDS * len(keys)
+        assert stats.lookups == lookups
+        assert stats.misses == len(keys)  # deterministic, not "at least"
+        assert stats.hits == lookups - len(keys)
+        assert stats.size == len(keys)
+
+    def test_compute_error_propagates_and_releases_key(self):
+        cache = ThroughputCache()
+        topology = ring(4, B)
+        matching = Matching.shift(4, 1)
+
+        def boom():
+            raise ValueError("lp exploded")
+
+        with pytest.raises(ValueError, match="lp exploded"):
+            cache.get_or_compute(topology, matching, boom)
+        # The failed key was released: a retry computes (a second miss).
+        assert cache.get_or_compute(topology, matching, lambda: 3.0) == 3.0
+        stats = cache.stats()
+        assert (stats.misses, stats.size) == (2, 1)
+
+    def test_clear_during_flight_does_not_resurrect(self):
+        cache = ThroughputCache()
+        topology = ring(4, B)
+        matching = Matching.shift(4, 1)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            started.set()
+            release.wait(timeout=5)
+            return 7.0
+
+        results = []
+        owner = threading.Thread(
+            target=lambda: results.append(
+                cache.get_or_compute(topology, matching, slow_compute)
+            )
+        )
+        owner.start()
+        assert started.wait(timeout=5)
+        cache.clear()  # evicts while the computation is in flight
+        release.set()
+        owner.join(timeout=5)
+        assert results == [7.0]  # the owner still got its value...
+        assert cache.stats().size == 0  # ...but the entry stayed evicted
+
+
+class TestPlanManyCacheExactness:
+    def grid(self):
+        base = Scenario.create(
+            "allreduce_recursive_doubling",
+            n=16,
+            message_size=KiB(64),
+            bandwidth=B,
+            alpha=ns(100),
+            delta=ns(100),
+            reconfiguration_delay=us(10),
+        )
+        return scenario_grid(
+            base, [KiB(64), MiB(1), MiB(16)], [us(1), us(10), us(100)]
+        )
+
+    def test_parallel_stats_match_serial(self):
+        # plan_many over a shared cache: the hit/miss split is a pure
+        # function of the workload, not of thread interleaving.
+        serial_cache = ThroughputCache()
+        plan_many(self.grid(), solver="dp", cache=serial_cache)
+        serial = serial_cache.stats()
+
+        for _ in range(3):  # several chances to expose a race
+            parallel_cache = ThroughputCache()
+            plan_many(self.grid(), solver="dp", parallel=8, cache=parallel_cache)
+            parallel = parallel_cache.stats()
+            assert parallel == serial
+            assert parallel.misses == parallel.size

@@ -1,0 +1,141 @@
+"""Golden regression tests: pin the figure1 / figure2 grids at n=16.
+
+The committed fixture ``tests/fixtures/golden_grids_n16.json`` records
+every panel's completion-time surfaces (opt / static / bvn) and the
+DP's matched-step counts on the small paper grid.  Future refactors of
+the planner, cost model, theta estimators, or simulator plumbing cannot
+silently drift the paper's numbers: any change to these surfaces fails
+here and must be an explicit, reviewed fixture regeneration.
+
+Regenerate deliberately with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
+
+On failure the freshly computed grids are written next to the fixture
+(``golden_grids_n16.actual.json``) so CI can upload the diff as an
+artifact and a reviewer can inspect exactly which cells moved.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import FIGURE1_PANELS, FIGURE2_PANEL, small_config
+from repro.experiments.figure1 import run_panel
+from repro.flows import ThroughputCache
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_grids_n16.json"
+ACTUAL = FIXTURE.parent / "golden_grids_n16.actual.json"
+N = 16
+
+#: Completion times are compared at 1e-6 relative tolerance: loose
+#: enough for cross-platform LP solver noise in the last ulps, tight
+#: enough that any real modelling change fails.
+REL_TOL = 1e-6
+
+_ALL_PANELS = FIGURE1_PANELS + (FIGURE2_PANEL,)
+
+
+def compute_grids() -> dict:
+    """Evaluate every panel's grid at n=16 on the small paper config."""
+    config = small_config(N)
+    cache = ThroughputCache()
+    panels = {}
+    for spec in _ALL_PANELS:
+        result = run_panel(spec, config=config, cache=cache)
+        panels[spec.panel] = {
+            "algorithm": spec.algorithm,
+            "opt": result.grid.opt.tolist(),
+            "static": result.grid.static.tolist(),
+            "bvn": result.grid.bvn.tolist(),
+            "matched_steps": result.grid.matched_steps.tolist(),
+        }
+    return {
+        "n": N,
+        "message_sizes": [float(m) for m in config.message_sizes],
+        "alpha_rs": [float(a) for a in config.alpha_rs],
+        "panels": panels,
+    }
+
+
+@pytest.fixture(scope="module")
+def actual() -> dict:
+    return compute_grids()
+
+
+def test_fixture_exists_or_regenerate(actual):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(exist_ok=True)
+        FIXTURE.write_text(json.dumps(actual, indent=2) + "\n")
+    assert FIXTURE.exists(), (
+        f"golden fixture {FIXTURE} is missing; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def _flatten_mismatches(panel, surface, expected, got):
+    mismatches = []
+    for row, (expected_row, got_row) in enumerate(zip(expected, got)):
+        for col, (want, have) in enumerate(zip(expected_row, got_row)):
+            if want == have:
+                continue
+            if (
+                isinstance(want, float)
+                and math.isfinite(want)
+                and math.isclose(want, have, rel_tol=REL_TOL)
+            ):
+                continue
+            mismatches.append(
+                f"{panel}/{surface}[{row}][{col}]: fixture={want!r} got={have!r}"
+            )
+    return mismatches
+
+
+def test_grids_match_golden_fixture(actual):
+    if not FIXTURE.exists():
+        pytest.skip("fixture missing (covered by test_fixture_exists)")
+    golden = json.loads(FIXTURE.read_text())
+    mismatches = []
+    if golden["message_sizes"] != actual["message_sizes"]:
+        mismatches.append("message_sizes axis changed")
+    if golden["alpha_rs"] != actual["alpha_rs"]:
+        mismatches.append("alpha_rs axis changed")
+    if sorted(golden["panels"]) != sorted(actual["panels"]):
+        mismatches.append(
+            f"panel set changed: {sorted(golden['panels'])} vs "
+            f"{sorted(actual['panels'])}"
+        )
+    for panel in sorted(set(golden["panels"]) & set(actual["panels"])):
+        want_panel = golden["panels"][panel]
+        got_panel = actual["panels"][panel]
+        for surface in ("opt", "static", "bvn", "matched_steps"):
+            mismatches.extend(
+                _flatten_mismatches(
+                    panel, surface, want_panel[surface], got_panel[surface]
+                )
+            )
+    if mismatches:
+        ACTUAL.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.fail(
+            "golden grids drifted from the committed fixture "
+            f"({len(mismatches)} cells); wrote {ACTUAL} for diffing.\n"
+            + "\n".join(mismatches[:20])
+        )
+
+
+def test_golden_surfaces_are_internally_consistent(actual):
+    """Sanity on the pinned numbers themselves: OPT never loses to
+    either pure policy, and every cell is finite and positive."""
+    for panel, data in actual["panels"].items():
+        for row_o, row_s, row_b in zip(
+            data["opt"], data["static"], data["bvn"]
+        ):
+            for opt, static, bvn in zip(row_o, row_s, row_b):
+                assert opt > 0 and math.isfinite(opt), panel
+                assert opt <= static * (1 + 1e-12), panel
+                assert opt <= bvn * (1 + 1e-12), panel

@@ -153,6 +153,91 @@ class TestScenario:
         assert grid[5].cost.reconfiguration_delay == us(100)
 
 
+class TestPlanResultSerialization:
+    """PlanResult dict round-tripping (the SimResult dict format embeds
+    these, so the two stay consistent by construction)."""
+
+    def test_json_round_trip(self):
+        import json
+
+        result = plan(paper_scenario(n=8), cache=ThroughputCache())
+        from repro.planner import PlanResult
+
+        rebuilt = PlanResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.schedule == result.schedule
+        assert rebuilt.cost == result.cost
+        assert rebuilt.cache_stats == result.cache_stats
+
+    def test_round_trip_without_cache_stats(self):
+        from repro.planner import PlanResult
+
+        result = plan(paper_scenario(n=8), cache=None)
+        assert result.cache_stats is None
+        rebuilt = PlanResult.from_dict(result.to_dict())
+        assert rebuilt == result
+
+    def test_pool_round_trip_keeps_rich_labels(self):
+        from repro.planner import PlanResult
+
+        result = plan(paper_scenario(n=8), solver="pool", cache=ThroughputCache())
+        rebuilt = PlanResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.schedule is None
+        assert rebuilt.cost is None
+        assert rebuilt.metadata_dict == result.metadata_dict
+
+    def test_round_trip_preserves_solver_options(self):
+        from repro.planner import PlanResult
+
+        result = plan(
+            paper_scenario(n=8),
+            solver="overlap",
+            cache=ThroughputCache(),
+            compute_times=us(3),
+        )
+        rebuilt = PlanResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.request.options_dict == {"compute_times": us(3)}
+
+    def test_from_dict_rejects_empty_decisions(self):
+        from repro.planner import PlanResult
+
+        data = plan(paper_scenario(n=8), cache=None).to_dict()
+        data["decisions"] = []
+        with pytest.raises(ConfigurationError, match="decision"):
+            PlanResult.from_dict(data)
+
+    def test_from_dict_names_missing_fields(self):
+        from repro.planner import PlanResult
+
+        data = plan(paper_scenario(n=8), cache=None).to_dict()
+        del data["total_time"]
+        with pytest.raises(ConfigurationError, match="total_time"):
+            PlanResult.from_dict(data)
+        data = plan(paper_scenario(n=8), cache=None).to_dict()
+        del data["cost"]["per_step"]
+        with pytest.raises(ConfigurationError, match="per_step"):
+            PlanResult.from_dict(data)
+
+    def test_from_dict_rejects_bad_schedule_glyphs(self):
+        from repro.planner import PlanResult
+
+        data = plan(paper_scenario(n=8), cache=None).to_dict()
+        data["schedule"] = "GMX" + data["schedule"][3:]
+        with pytest.raises(ConfigurationError, match="G/M"):
+            PlanResult.from_dict(data)
+
+    def test_from_dict_rejects_contradictory_schedule(self):
+        from repro.planner import PlanResult
+
+        data = plan(paper_scenario(n=8), solver="bvn", cache=None).to_dict()
+        assert set(data["decisions"]) == {"matched"}
+        data["schedule"] = "G" * len(data["decisions"])
+        with pytest.raises(ConfigurationError, match="contradicts"):
+            PlanResult.from_dict(data)
+
+
 class TestRegistry:
     def test_builtins_present(self):
         names = available_solvers()

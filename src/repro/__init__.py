@@ -46,6 +46,7 @@ from . import (
     planner,
     sim,
     topology,
+    workload,
 )
 from .collectives import (
     Collective,
@@ -87,7 +88,23 @@ from .planner import (
     scenario_grid,
 )
 from .matching import Matching
-from .sim import FlowLevelSimulator, simulate
+from .sim import (
+    FlowLevelSimulator,
+    WorkloadSimResult,
+    simulate,
+    simulate_workload,
+    workload_many,
+)
+from .workload import (
+    Workload,
+    WorkloadPlan,
+    bursty_trace,
+    interleave,
+    moe_trace,
+    plan_workload,
+    steady_trace,
+    training_loop_trace,
+)
 from .topology import Topology, hypercube, ring, torus
 from .units import GB, GiB, Gbps, KiB, MB, MiB, Tbps, ms, ns, us
 
@@ -104,6 +121,7 @@ __all__ = [
     "fabric",
     "planner",
     "sim",
+    "workload",
     "analysis",
     "experiments",
     # the unified planner API
@@ -151,6 +169,18 @@ __all__ = [
     "CacheStats",
     "FlowLevelSimulator",
     "simulate",
+    # the adaptive workload engine
+    "Workload",
+    "WorkloadPlan",
+    "WorkloadSimResult",
+    "plan_workload",
+    "simulate_workload",
+    "workload_many",
+    "interleave",
+    "steady_trace",
+    "bursty_trace",
+    "training_loop_trace",
+    "moe_trace",
     # units
     "Gbps",
     "Tbps",

@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
-from .exceptions import ReproError
+from collections.abc import Mapping
+
+from .exceptions import ConfigurationError, ReproError
+
+
+def require_field(data: Mapping[str, object], key: str, what: str) -> object:
+    """A required dict field, or :class:`ConfigurationError` naming it
+    (malformed ``from_dict`` input must not surface as a bare
+    ``KeyError``).  Shared by every result type that round-trips
+    through plain dicts."""
+    if key not in data:
+        raise ConfigurationError(f"{what} dict is missing the {key!r} field")
+    return data[key]
 
 
 def require(condition: bool, exc_type: type[ReproError], message: str) -> None:

@@ -1,5 +1,7 @@
-"""Analysis layer: sweeps, speedup grids, heatmaps, regime census."""
+"""Analysis layer: sweeps, speedup grids, heatmaps, regime census,
+adaptivity comparisons."""
 
+from .adaptivity import PhaseRecord, PolicyComparison, compare_policies
 from .heatmap import render_grid, render_shaded
 from .propagation import PropagationRecord, propagation_study
 from .regimes import RegimeCensus, census
@@ -19,4 +21,7 @@ __all__ = [
     "sweep_parameter",
     "PropagationRecord",
     "propagation_study",
+    "PhaseRecord",
+    "PolicyComparison",
+    "compare_policies",
 ]

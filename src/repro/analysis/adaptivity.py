@@ -1,0 +1,173 @@
+"""Adaptivity analysis: how much does carried fabric state buy?
+
+:func:`compare_policies` plans one workload under several online
+policies and lines the results up against a baseline (default:
+``replan``, the memoryless per-phase planner).  The output carries both
+granularities the workload experiments report:
+
+* *per-phase* records — each phase's physically accounted time, the
+  memoryless Eq. 7 prediction, the opening reconfiguration charge, and
+  the per-phase speedup over the baseline policy;
+* *aggregate* speedups — end-to-end completion-time ratios per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..exceptions import ConfigurationError
+from ..fabric.reconfiguration import ReconfigurationModel
+from ..flows import ThroughputCache, default_cache
+from ..workload.policies import plan_workload
+from ..workload.result import WorkloadPlan
+from ..workload.spec import Workload
+
+__all__ = ["PhaseRecord", "PolicyComparison", "compare_policies"]
+
+#: The default policy line-up of every workload comparison.
+DEFAULT_POLICIES = ("replan", "hysteresis", "oracle")
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One (policy, phase) cell of a workload comparison."""
+
+    policy: str
+    phase: int
+    name: str
+    time: float
+    eq7_time: float
+    opening_delay: float
+    n_reconfigurations: int
+    speedup_vs_baseline: float
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON / CSV friendly)."""
+        return {
+            "policy": self.policy,
+            "phase": self.phase,
+            "name": self.name,
+            "time": self.time,
+            "eq7_time": self.eq7_time,
+            "opening_delay": self.opening_delay,
+            "n_reconfigurations": self.n_reconfigurations,
+            "speedup_vs_baseline": self.speedup_vs_baseline,
+        }
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Planned outcomes of several policies on one workload."""
+
+    workload: Workload
+    baseline: str
+    plans: tuple[tuple[str, WorkloadPlan], ...]
+    records: tuple[PhaseRecord, ...]
+
+    @property
+    def policies(self) -> tuple[str, ...]:
+        """Policy names, in evaluation order."""
+        return tuple(name for name, _ in self.plans)
+
+    def plan(self, policy: str) -> WorkloadPlan:
+        """The plan one policy produced."""
+        for name, plan in self.plans:
+            if name == policy:
+                return plan
+        raise ConfigurationError(
+            f"policy {policy!r} is not part of this comparison; have "
+            f"{self.policies}"
+        )
+
+    def total(self, policy: str) -> float:
+        """End-to-end physically accounted time of one policy."""
+        return self.plan(policy).total_time
+
+    def speedup(self, policy: str, baseline: "str | None" = None) -> float:
+        """Aggregate speedup of ``policy`` over ``baseline``."""
+        reference = self.total(baseline or self.baseline)
+        mine = self.total(policy)
+        if mine == 0:
+            return float("inf")
+        return reference / mine
+
+    def per_phase_speedup(
+        self, policy: str, baseline: "str | None" = None
+    ) -> tuple[float, ...]:
+        """Per-phase speedups of ``policy`` over ``baseline``."""
+        reference = self.plan(baseline or self.baseline).per_phase_times
+        mine = self.plan(policy).per_phase_times
+        return tuple(
+            float("inf") if m == 0 else r / m for r, m in zip(reference, mine)
+        )
+
+    def phase_records(self, policy: str) -> tuple[PhaseRecord, ...]:
+        """The per-phase rows of one policy, in phase order."""
+        return tuple(r for r in self.records if r.policy == policy)
+
+
+def compare_policies(
+    workload: Workload,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    solver: str = "dp",
+    reconfiguration_model: ReconfigurationModel | None = None,
+    baseline: str = "replan",
+    threshold: float = 0.0,
+    cache: "ThroughputCache | None" = default_cache,
+) -> PolicyComparison:
+    """Plan ``workload`` under every policy and tabulate the gaps.
+
+    ``threshold`` is forwarded to the ``hysteresis`` policy only (the
+    other built-ins take no options).  The baseline must be among the
+    evaluated policies.
+    """
+    policies = tuple(dict.fromkeys(policies))  # dedupe, keep order
+    if baseline not in policies:
+        raise ConfigurationError(
+            f"baseline {baseline!r} must be one of the evaluated policies "
+            f"{policies}"
+        )
+    plans: list[tuple[str, WorkloadPlan]] = []
+    for policy in policies:
+        options = {"threshold": threshold} if policy == "hysteresis" else {}
+        plans.append(
+            (
+                policy,
+                plan_workload(
+                    workload,
+                    policy=policy,
+                    solver=solver,
+                    reconfiguration_model=reconfiguration_model,
+                    cache=cache,
+                    **options,
+                ),
+            )
+        )
+    by_name = dict(plans)
+    reference = by_name[baseline].per_phase_times
+    records: list[PhaseRecord] = []
+    for policy, plan in plans:
+        for phase, ref_time in zip(plan.phases, reference):
+            records.append(
+                PhaseRecord(
+                    policy=policy,
+                    phase=phase.index,
+                    name=phase.plan.scenario.name,
+                    time=phase.phase_time,
+                    eq7_time=phase.plan.total_time,
+                    opening_delay=phase.opening_delay,
+                    n_reconfigurations=phase.cost.n_reconfigurations,
+                    speedup_vs_baseline=(
+                        float("inf")
+                        if phase.phase_time == 0
+                        else ref_time / phase.phase_time
+                    ),
+                )
+            )
+    return PolicyComparison(
+        workload=workload,
+        baseline=baseline,
+        plans=tuple(plans),
+        records=tuple(records),
+    )

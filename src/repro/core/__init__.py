@@ -16,7 +16,11 @@ for callers that already hold ``StepCost`` sequences."""
 from .baselines import best_of_both_cost, bvn_cost, static_cost
 from .cost_model import CostParameters, StepCost, evaluate_step_costs
 from .heuristics import greedy_sequential_schedule, threshold_schedule
-from .optimizer_dp import OptimizationResult, optimize_schedule
+from .optimizer_dp import (
+    OptimizationResult,
+    optimize_schedule,
+    optimize_schedule_physical,
+)
 from .optimizer_ilp import optimize_schedule_ilp
 from .multiport import (
     MultiPortStep,
@@ -26,7 +30,14 @@ from .multiport import (
 )
 from .optimizer_pool import PoolDecision, PoolScheduleResult, optimize_pool_schedule
 from .overlap import evaluate_schedule_with_overlap, optimize_with_overlap
-from .schedule import Decision, Schedule, ScheduleCost, evaluate_schedule
+from .schedule import (
+    Decision,
+    Schedule,
+    ScheduleCost,
+    evaluate_schedule,
+    evaluate_schedule_physical,
+    step_configuration,
+)
 from .tradeoff import (
     RegimeReport,
     classify_regime,
@@ -42,11 +53,14 @@ __all__ = [
     "Schedule",
     "ScheduleCost",
     "evaluate_schedule",
+    "evaluate_schedule_physical",
+    "step_configuration",
     "static_cost",
     "bvn_cost",
     "best_of_both_cost",
     "OptimizationResult",
     "optimize_schedule",
+    "optimize_schedule_physical",
     "optimize_schedule_ilp",
     "optimize_pool_schedule",
     "PoolDecision",

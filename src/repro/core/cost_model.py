@@ -27,6 +27,7 @@ from .._validation import require_non_negative, require_positive
 from ..collectives.base import Collective
 from ..exceptions import ScheduleError
 from ..flows import PathLengthRule, ThroughputCache, compute_theta, default_cache, path_length
+from ..matching import Matching
 from ..topology.base import Topology
 
 __all__ = ["CostParameters", "StepCost", "evaluate_step_costs"]
@@ -95,12 +96,20 @@ class StepCost:
         Path-length term ``l_i`` on the base topology.
     label:
         Step label, carried through for reporting.
+    matching:
+        The step's communication pattern ``M_i``, carried so that
+        physical reconfiguration accounting (pluggable
+        :class:`~repro.fabric.reconfiguration.ReconfigurationModel`
+        delay models) can derive the circuit configuration a matched
+        step establishes.  ``None`` for hand-built step costs that only
+        exercise the constant-``alpha_r`` Eq. 7 accounting.
     """
 
     volume: float
     theta: float
     hops: float
     label: str = ""
+    matching: Matching | None = None
 
     def base_cost(self, params: CostParameters) -> float:
         """DCT of this step when staying on the base topology (Eq. 3)."""
@@ -137,7 +146,13 @@ def evaluate_step_costs(
     for step in collective.steps:
         if len(step.matching) == 0:
             costs.append(
-                StepCost(volume=step.volume, theta=math.inf, hops=0.0, label=step.label)
+                StepCost(
+                    volume=step.volume,
+                    theta=math.inf,
+                    hops=0.0,
+                    label=step.label,
+                    matching=step.matching,
+                )
             )
             continue
         if not topology.supports(step.matching):
@@ -153,6 +168,12 @@ def evaluate_step_costs(
             )
             hops = path_length(topology, step.matching, rule=path_rule)
         costs.append(
-            StepCost(volume=step.volume, theta=theta, hops=hops, label=step.label)
+            StepCost(
+                volume=step.volume,
+                theta=theta,
+                hops=hops,
+                label=step.label,
+                matching=step.matching,
+            )
         )
     return tuple(costs)

@@ -21,10 +21,22 @@ import math
 from dataclasses import dataclass
 from collections.abc import Sequence
 
+from ..fabric.reconfiguration import Configuration, ReconfigurationModel
 from .cost_model import CostParameters, StepCost
-from .schedule import Decision, Schedule, ScheduleCost, evaluate_schedule
+from .schedule import (
+    Decision,
+    Schedule,
+    ScheduleCost,
+    evaluate_schedule,
+    evaluate_schedule_physical,
+    step_configuration,
+)
 
-__all__ = ["OptimizationResult", "optimize_schedule"]
+__all__ = [
+    "OptimizationResult",
+    "optimize_schedule",
+    "optimize_schedule_physical",
+]
 
 
 @dataclass(frozen=True)
@@ -88,4 +100,104 @@ def optimize_schedule(
     return OptimizationResult(
         schedule=schedule,
         cost=evaluate_schedule(step_costs, schedule, params),
+    )
+
+
+def optimize_schedule_physical(
+    step_costs: Sequence[StepCost],
+    params: CostParameters,
+    model: ReconfigurationModel,
+    base_configuration: Configuration,
+    initial_configuration: Configuration | None = None,
+    force_first: Decision | None = None,
+) -> OptimizationResult:
+    """Solve the schedule problem under *physical* reconfiguration
+    accounting, still in ``O(s)``.
+
+    The same two-state DP as :func:`optimize_schedule`, but transition
+    costs come from a pluggable
+    :class:`~repro.fabric.reconfiguration.ReconfigurationModel` applied
+    to the *actual* circuit configurations: staying in an identical
+    matched configuration is free, per-port models charge by touched
+    ports, and the fabric may start in a carried-over
+    ``initial_configuration`` (a workload phase inheriting the previous
+    phase's ending circuits).  The sequential structure survives because
+    the configuration after step ``i`` is fully determined by decision
+    ``i`` — two states per step still suffice.
+
+    ``force_first`` pins the first step's decision (used by hysteresis
+    policies to price "hold the standing configuration" separately from
+    the unconstrained optimum).
+    """
+    n_steps = len(step_costs)
+    if n_steps == 0:
+        raise ValueError("at least one step is required")
+    start = (
+        base_configuration
+        if initial_configuration is None
+        else initial_configuration
+    )
+
+    # value[state] = best cost so far ending in `state` (0 = BASE,
+    # 1 = MATCHED); configs[state] = the configuration that state holds.
+    value = [0.0, math.inf]
+    configs: list[Configuration | None] = [start, None]
+    parents: list[tuple[int, int]] = []
+    for index, cost in enumerate(step_costs):
+        base_step = cost.base_cost(params)
+        matched_step = cost.matched_cost(params)
+        base_target = step_configuration(
+            Decision.BASE, cost, base_configuration
+        )
+        matched_target = step_configuration(
+            Decision.MATCHED, cost, base_configuration
+        )
+        allowed = (
+            (Decision.BASE, Decision.MATCHED)
+            if index > 0 or force_first is None
+            else (force_first,)
+        )
+        new_value = [math.inf, math.inf]
+        new_parents = [0, 0]
+        for decision in allowed:
+            if decision is Decision.BASE:
+                state, step_time, target = 0, base_step, base_target
+            else:
+                state, step_time, target = 1, matched_step, matched_target
+            best, parent = math.inf, 0
+            for prev_state in (0, 1):
+                if math.isinf(value[prev_state]):
+                    continue
+                prev_config = configs[prev_state]
+                assert prev_config is not None
+                candidate = (
+                    value[prev_state]
+                    + model.delay(prev_config, target)
+                    + step_time
+                )
+                if candidate < best:
+                    best, parent = candidate, prev_state
+            new_value[state] = best
+            new_parents[state] = parent
+        parents.append((new_parents[0], new_parents[1]))
+        value = new_value
+        configs = [base_target, matched_target]
+
+    state = 0 if value[0] <= value[1] else 1
+    decisions: list[Decision] = []
+    for step in range(n_steps - 1, -1, -1):
+        decisions.append(Decision.BASE if state == 0 else Decision.MATCHED)
+        state = parents[step][state]
+    decisions.reverse()
+    schedule = Schedule(tuple(decisions))
+    return OptimizationResult(
+        schedule=schedule,
+        cost=evaluate_schedule_physical(
+            step_costs,
+            schedule,
+            params,
+            model,
+            base_configuration,
+            initial_configuration=initial_configuration,
+        ),
     )

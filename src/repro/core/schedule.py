@@ -18,12 +18,25 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
+from .._validation import require_field
 from ..exceptions import ScheduleError
+from ..fabric.reconfiguration import (
+    Configuration,
+    ReconfigurationModel,
+    configuration_from_matching,
+)
 from .cost_model import CostParameters, StepCost
 
-__all__ = ["Decision", "Schedule", "ScheduleCost", "evaluate_schedule"]
+__all__ = [
+    "Decision",
+    "Schedule",
+    "ScheduleCost",
+    "evaluate_schedule",
+    "evaluate_schedule_physical",
+    "step_configuration",
+]
 
 
 class Decision(enum.Enum):
@@ -103,6 +116,45 @@ class ScheduleCost:
             return math.inf
         return other.total / self.total
 
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable), inverse of
+        :meth:`from_dict`; shared by every result type that embeds a
+        cost breakdown (:class:`~repro.planner.PlanResult`,
+        :class:`~repro.workload.PhasePlan`)."""
+        return {
+            "total": self.total,
+            "latency_term": self.latency_term,
+            "propagation_term": self.propagation_term,
+            "bandwidth_term": self.bandwidth_term,
+            "reconfiguration_term": self.reconfiguration_term,
+            "n_reconfigurations": self.n_reconfigurations,
+            "per_step": list(self.per_step),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScheduleCost":
+        """Inverse of :meth:`to_dict`; missing fields raise
+        :class:`~repro.exceptions.ConfigurationError` naming the field."""
+        return cls(
+            total=float(require_field(data, "total", "cost")),
+            latency_term=float(require_field(data, "latency_term", "cost")),
+            propagation_term=float(
+                require_field(data, "propagation_term", "cost")
+            ),
+            bandwidth_term=float(
+                require_field(data, "bandwidth_term", "cost")
+            ),
+            reconfiguration_term=float(
+                require_field(data, "reconfiguration_term", "cost")
+            ),
+            n_reconfigurations=int(
+                require_field(data, "n_reconfigurations", "cost")
+            ),
+            per_step=tuple(
+                float(v) for v in require_field(data, "per_step", "cost")
+            ),
+        )
+
 
 def count_reconfigurations(decisions: Sequence[Decision]) -> int:
     """Number of steps charged ``alpha_r`` under Eq. 7's accounting.
@@ -162,4 +214,90 @@ def evaluate_schedule(
         reconfiguration_term=reconfiguration,
         n_reconfigurations=n_reconf,
         per_step=tuple(per_step),
+    )
+
+
+def step_configuration(
+    decision: Decision,
+    step_cost: StepCost,
+    base_configuration: Configuration,
+) -> Configuration:
+    """The circuit configuration the fabric holds *during* a step.
+
+    A base step runs on the standing topology's configuration; a
+    matched step establishes the circuits of its own matching.  Mirrors
+    the physical-accounting rule of
+    :class:`~repro.sim.flowsim.FlowLevelSimulator` exactly, so analytic
+    and simulated reconfiguration charges agree transition for
+    transition.
+    """
+    if decision is Decision.BASE:
+        return base_configuration
+    if step_cost.matching is None:
+        raise ScheduleError(
+            "physical reconfiguration accounting needs step costs that "
+            "carry their matchings (evaluate_step_costs provides them); "
+            f"step {step_cost.label!r} has none"
+        )
+    return configuration_from_matching(step_cost.matching)
+
+
+def evaluate_schedule_physical(
+    step_costs: Sequence[StepCost],
+    schedule: Schedule,
+    params: CostParameters,
+    model: ReconfigurationModel,
+    base_configuration: Configuration,
+    initial_configuration: Configuration | None = None,
+) -> ScheduleCost:
+    """Evaluate a schedule under *physical* reconfiguration accounting.
+
+    Where Eq. 7 charges a constant ``alpha_r`` whenever steps ``i-1``
+    and ``i`` are not both on the base topology,
+    this evaluation tracks the actual circuit configuration and prices
+    every transition with a pluggable
+    :class:`~repro.fabric.reconfiguration.ReconfigurationModel`:
+    identical consecutive configurations are free, and per-port models
+    charge by how many ports a transition touches.  The fabric starts
+    in ``initial_configuration`` (default: the base configuration),
+    which is how workload planning threads one phase's ending
+    configuration into the next phase's opening cost.
+
+    The per-step communication terms are exactly those of
+    :func:`evaluate_schedule` (it computes them); only the
+    reconfiguration accounting is swapped.  ``n_reconfigurations``
+    counts the transitions that actually cost time, matching the flow
+    simulator's physical accounting.
+    """
+    if len(step_costs) != schedule.num_steps:
+        raise ScheduleError(
+            f"schedule covers {schedule.num_steps} steps but "
+            f"{len(step_costs)} step costs were given"
+        )
+    current = (
+        base_configuration
+        if initial_configuration is None
+        else initial_configuration
+    )
+    reconfiguration = 0.0
+    n_reconf = 0
+    for cost, decision in zip(step_costs, schedule.decisions):
+        target = step_configuration(decision, cost, base_configuration)
+        delay = model.delay(current, target)
+        if delay > 0:
+            reconfiguration += delay
+            n_reconf += 1
+        current = target
+    eq7 = evaluate_schedule(step_costs, schedule, params)
+    return ScheduleCost(
+        total=eq7.latency_term
+        + eq7.propagation_term
+        + eq7.bandwidth_term
+        + reconfiguration,
+        latency_term=eq7.latency_term,
+        propagation_term=eq7.propagation_term,
+        bandwidth_term=eq7.bandwidth_term,
+        reconfiguration_term=reconfiguration,
+        n_reconfigurations=n_reconf,
+        per_step=eq7.per_step,
     )

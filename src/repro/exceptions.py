@@ -51,3 +51,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A multi-phase workload is malformed or cannot be planned."""

@@ -11,6 +11,15 @@ from .config import (
 from .figure1 import PanelResult, panel_by_id, run_figure1, run_panel
 from .figure2 import run_figure2
 from .io import panel_report, write_panel_csv
+from .workload_grid import (
+    WORKLOAD_TRACES,
+    WorkloadCell,
+    available_traces,
+    build_trace,
+    run_workload_grid,
+    workload_base_scenario,
+    workload_grid_report,
+)
 
 __all__ = [
     "PanelSpec",
@@ -26,4 +35,11 @@ __all__ = [
     "panel_by_id",
     "panel_report",
     "write_panel_csv",
+    "WorkloadCell",
+    "WORKLOAD_TRACES",
+    "available_traces",
+    "build_trace",
+    "workload_base_scenario",
+    "run_workload_grid",
+    "workload_grid_report",
 ]

@@ -7,7 +7,11 @@ Subcommands:
 * ``plan [...]``      — plan one scenario through the unified planner.
 * ``simulate [...]``  — plan a scenario, then *execute* the plan on the
   flow-level simulator and report measured vs analytic time.
-* ``list``            — available collectives and solvers.
+* ``workload [...]``  — expand a synthetic traffic trace into a
+  multi-phase workload, plan it with an online policy (or compare all
+  policies), execute it on the flow simulator, and report per-phase and
+  end-to-end times; ``--grid`` runs the full traces x policies grid.
+* ``list``            — available collectives, solvers, policies, traces.
 
 The ``plan`` and ``simulate`` subcommands are config-driven:
 ``--scenario FILE`` loads a declarative :class:`~repro.planner.Scenario`
@@ -27,14 +31,26 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from ..analysis.adaptivity import compare_policies
 from ..collectives.registry import available_collectives
+from ..fabric.reconfiguration import (
+    ConstantReconfigurationDelay,
+    PerPortReconfigurationDelay,
+)
 from ..planner import Scenario, available_solvers, plan
-from ..sim import RATE_METHODS, simulate_plan
+from ..sim import RATE_METHODS, simulate_plan, simulate_workload
 from ..units import Gbps, MiB, format_time, ns, us
+from ..workload import available_policies
 from .config import PAPER_CONFIG
 from .figure1 import run_figure1
 from .figure2 import run_figure2
 from .io import panel_report, write_panel_csv
+from .workload_grid import (
+    available_traces,
+    build_trace,
+    run_workload_grid,
+    workload_grid_report,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -100,7 +116,70 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the full SimResult dict to this JSON file",
     )
 
-    sub.add_parser("list", help="list available collectives and solvers")
+    workload_cmd = sub.add_parser(
+        "workload",
+        help="plan and execute a multi-phase workload trace with an "
+        "online policy",
+    )
+    _add_scenario_flags(workload_cmd)
+    workload_cmd.add_argument(
+        "--trace",
+        default="training",
+        help=f"synthetic trace kind; one of {available_traces()}",
+    )
+    workload_cmd.add_argument(
+        "--phases", type=int, default=6, help="approximate phase budget"
+    )
+    workload_cmd.add_argument(
+        "--policy",
+        default="hysteresis",
+        help="online policy name, or 'all' to compare every policy",
+    )
+    workload_cmd.add_argument(
+        "--solver", default="dp", help="per-phase solver for 'replan'"
+    )
+    workload_cmd.add_argument(
+        "--model",
+        default="constant",
+        choices=("constant", "per_port"),
+        help="reconfiguration delay model pricing configuration changes",
+    )
+    workload_cmd.add_argument(
+        "--model-base-us",
+        type=float,
+        default=1.0,
+        help="per_port model: fixed delay component (us)",
+    )
+    workload_cmd.add_argument(
+        "--per-port-ns",
+        type=float,
+        default=500.0,
+        help="per_port model: delay per touched port (ns)",
+    )
+    workload_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help="hysteresis switching threshold (relative gain required)",
+    )
+    workload_cmd.add_argument(
+        "--grid",
+        action="store_true",
+        help="run the full traces x policies workload grid instead "
+        "(covers every trace and policy; --trace/--policy do not apply)",
+    )
+    workload_cmd.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the full WorkloadSimResult (or grid cells) to "
+        "this JSON file",
+    )
+
+    sub.add_parser(
+        "list",
+        help="list available collectives, solvers, policies, and traces",
+    )
     return parser
 
 
@@ -244,6 +323,104 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_model(args: argparse.Namespace):
+    """The reconfiguration delay model described by the CLI flags."""
+    if args.model == "per_port":
+        return PerPortReconfigurationDelay(
+            us(args.model_base_us), ns(args.per_port_ns)
+        )
+    return ConstantReconfigurationDelay(us(args.alpha_r_us))
+
+
+def _run_workload(args: argparse.Namespace) -> int:
+    base = _plan_scenario(args)
+    if args.dump_scenario:
+        print(json.dumps(base.to_dict(), indent=2))
+        return 0
+    model = _workload_model(args)
+
+    if args.grid:
+        cells = run_workload_grid(
+            phases=args.phases,
+            reconfiguration_model=model,
+            solver=args.solver,
+            threshold=args.threshold,
+            base=base,
+        )
+        print(workload_grid_report(cells))
+        if args.json is not None:
+            args.json.write_text(
+                json.dumps([cell.to_dict() for cell in cells], indent=2)
+            )
+            print(f"wrote {args.json}")
+        return 0
+
+    workload = build_trace(args.trace, base, args.phases)
+    print(
+        f"workload: {args.trace}, {len(workload)} phases, n={workload.n}, "
+        f"model={model!r}"
+    )
+
+    if args.policy == "all":
+        comparison = compare_policies(
+            workload,
+            solver=args.solver,
+            reconfiguration_model=model,
+            threshold=args.threshold,
+        )
+        for policy in comparison.policies:
+            plan_result = comparison.plan(policy)
+            print(
+                f"{policy:>12}: {format_time(plan_result.total_time):>10}  "
+                f"reconf={format_time(plan_result.reconfiguration_time)} "
+                f"({plan_result.n_reconfigurations})  "
+                f"vs replan={comparison.speedup(policy):.2f}x"
+            )
+        if args.json is not None:
+            args.json.write_text(
+                json.dumps(
+                    [record.to_dict() for record in comparison.records],
+                    indent=2,
+                )
+            )
+            print(f"wrote {args.json}")
+        return 0
+
+    options = (
+        {"threshold": args.threshold} if args.policy == "hysteresis" else {}
+    )
+    result = simulate_workload(
+        workload,
+        policy=args.policy,
+        solver=args.solver,
+        reconfiguration_model=model,
+        **options,
+    )
+    for phase in result.phases:
+        decisions = "".join(
+            _decision_char(d) for d in result.plan.phases[phase.index].decisions
+        )
+        print(
+            f"  phase {phase.index:>2} {phase.name:<24} "
+            f"{format_time(phase.sim_time):>10}  schedule={decisions}  "
+            f"reconf={format_time(phase.reconfiguration_time)}"
+        )
+    print(
+        f"end-to-end ({result.policy}): {format_time(result.sim_time)} "
+        f"simulated, {format_time(result.analytic_time)} analytic "
+        f"(model error={result.model_error:.2e})"
+    )
+    print(
+        f"  reconfigurations: {result.n_reconfigurations} "
+        f"({format_time(result.reconfiguration_time)} total); memoryless "
+        f"Eq.7 prediction {format_time(result.plan.analytic_eq7_time)}"
+    )
+    if args.json is not None:
+        args.json.write_text(json.dumps(result.to_dict(), indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -254,6 +431,12 @@ def main(argv: list[str] | None = None) -> int:
         print("solvers:")
         for name in available_solvers():
             print(f"  {name}")
+        print("workload policies:")
+        for name in available_policies():
+            print(f"  {name}")
+        print("workload traces:")
+        for name in available_traces():
+            print(f"  {name}")
         return 0
 
     if args.command == "plan":
@@ -261,6 +444,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _run_simulate(args)
+
+    if args.command == "workload":
+        return _run_workload(args)
 
     config = PAPER_CONFIG
     if args.n is not None:

@@ -8,6 +8,7 @@ from .reconfiguration import (
     TableReconfigurationDelay,
     configuration_from_matching,
     configuration_from_topology,
+    reconfiguration_model_from_dict,
     touched_ports,
 )
 from .transceiver import Transceiver
@@ -24,5 +25,6 @@ __all__ = [
     "TableReconfigurationDelay",
     "configuration_from_matching",
     "configuration_from_topology",
+    "reconfiguration_model_from_dict",
     "touched_ports",
 ]

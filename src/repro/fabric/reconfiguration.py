@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from bisect import bisect_left
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from .._validation import require_non_negative
 from ..exceptions import FabricError
@@ -36,6 +36,7 @@ __all__ = [
     "ConstantReconfigurationDelay",
     "PerPortReconfigurationDelay",
     "TableReconfigurationDelay",
+    "reconfiguration_model_from_dict",
 ]
 
 Configuration = frozenset  # of (tx, rx) pairs
@@ -77,6 +78,14 @@ class ReconfigurationModel(ABC):
     def delay_for_ports(self, n_ports: int) -> float:
         """Delay when ``n_ports`` ports must be re-provisioned."""
 
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable), inverse of
+        :func:`reconfiguration_model_from_dict`.  Custom subclasses may
+        opt out of serialization; the built-ins all round-trip."""
+        raise FabricError(
+            f"{type(self).__name__} does not support dict serialization"
+        )
+
     def delay(self, previous: Configuration, target: Configuration) -> float:
         """Delay for moving between two explicit configurations."""
         if previous == target:
@@ -94,6 +103,9 @@ class ConstantReconfigurationDelay(ReconfigurationModel):
         if n_ports == 0:
             return 0.0
         return self.alpha_r
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": "constant", "alpha_r": self.alpha_r}
 
     def __repr__(self) -> str:
         return f"ConstantReconfigurationDelay(alpha_r={self.alpha_r:g})"
@@ -114,6 +126,9 @@ class PerPortReconfigurationDelay(ReconfigurationModel):
         if n_ports == 0:
             return 0.0
         return self.base + self.per_port * n_ports
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": "per_port", "base": self.base, "per_port": self.per_port}
 
     def __repr__(self) -> str:
         return (
@@ -149,6 +164,36 @@ class TableReconfigurationDelay(ReconfigurationModel):
             index -= 1  # beyond the table: use the largest sample
         return self._delays[index]
 
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "table",
+            "samples": [list(pair) for pair in zip(self._ports, self._delays)],
+        }
+
     def __repr__(self) -> str:
         pairs = list(zip(self._ports, self._delays))
         return f"TableReconfigurationDelay({pairs!r})"
+
+
+def reconfiguration_model_from_dict(
+    data: Mapping[str, object],
+) -> ReconfigurationModel:
+    """Rebuild a delay model from its :meth:`~ReconfigurationModel.to_dict`
+    form — the bridge that lets workload plans and CLI configs name a
+    delay model declaratively."""
+    kind = data.get("kind")
+    if kind == "constant":
+        return ConstantReconfigurationDelay(float(data["alpha_r"]))
+    if kind == "per_port":
+        return PerPortReconfigurationDelay(
+            float(data["base"]), float(data["per_port"])
+        )
+    if kind == "table":
+        samples = data["samples"]
+        return TableReconfigurationDelay(
+            [(int(p), float(d)) for p, d in samples]  # type: ignore[union-attr]
+        )
+    raise FabricError(
+        f"unknown reconfiguration model kind {kind!r}; choose from "
+        "('constant', 'per_port', 'table')"
+    )

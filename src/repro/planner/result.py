@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from collections.abc import Mapping
 
+from .._validation import require_field as _require
 from ..core.schedule import Decision, Schedule, ScheduleCost
 from ..exceptions import ConfigurationError
 from ..flows.cache import CacheStats
@@ -24,14 +25,6 @@ __all__ = ["PlanRequest", "PlanResult"]
 #: The two-state decision labels; anything else (``"pool:<i>"``) marks a
 #: richer solver state space with no executable two-state schedule.
 _TWO_STATE_LABELS = {Decision.BASE.value, Decision.MATCHED.value}
-
-
-def _require(data: Mapping[str, object], key: str, what: str) -> object:
-    """A required dict field, or :class:`ConfigurationError` naming it
-    (malformed input must not surface as a bare ``KeyError``)."""
-    if key not in data:
-        raise ConfigurationError(f"{what} dict is missing the {key!r} field")
-    return data[key]
 
 
 @dataclass(frozen=True)
@@ -128,15 +121,7 @@ class PlanResult:
         if self.request.options:
             out["options"] = self.request.options_dict
         if self.cost is not None:
-            out["cost"] = {
-                "total": self.cost.total,
-                "latency_term": self.cost.latency_term,
-                "propagation_term": self.cost.propagation_term,
-                "bandwidth_term": self.cost.bandwidth_term,
-                "reconfiguration_term": self.cost.reconfiguration_term,
-                "n_reconfigurations": self.cost.n_reconfigurations,
-                "per_step": list(self.cost.per_step),
-            }
+            out["cost"] = self.cost.to_dict()
         if self.metadata:
             out["metadata"] = self.metadata_dict
         if self.cache_stats is not None:
@@ -200,25 +185,7 @@ class PlanResult:
         cost_data = data.get("cost")
         cost = None
         if cost_data is not None:
-            cost = ScheduleCost(
-                total=float(_require(cost_data, "total", "cost")),
-                latency_term=float(_require(cost_data, "latency_term", "cost")),
-                propagation_term=float(
-                    _require(cost_data, "propagation_term", "cost")
-                ),
-                bandwidth_term=float(
-                    _require(cost_data, "bandwidth_term", "cost")
-                ),
-                reconfiguration_term=float(
-                    _require(cost_data, "reconfiguration_term", "cost")
-                ),
-                n_reconfigurations=int(
-                    _require(cost_data, "n_reconfigurations", "cost")
-                ),
-                per_step=tuple(
-                    float(v) for v in _require(cost_data, "per_step", "cost")
-                ),
-            )
+            cost = ScheduleCost.from_dict(cost_data)
         stats_data = data.get("cache_stats")
         stats = None
         if stats_data is not None:

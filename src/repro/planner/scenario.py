@@ -404,7 +404,53 @@ class Scenario:
         )
 
     def replace(self, **kwargs) -> "Scenario":
-        """A copy with fields overridden (validation re-runs)."""
+        """A copy with fields overridden (validation re-runs).
+
+        Mirrors :meth:`CostParameters.replace
+        <repro.core.cost_model.CostParameters.replace>` but also accepts
+        the flat convenience keys of :meth:`create` — ``algorithm``,
+        ``message_size``, ``n``, ``bandwidth``, ``alpha``, ``delta``,
+        and ``alpha_r`` / ``reconfiguration_delay`` — routing each into
+        the right nested spec (``bandwidth`` updates both the topology
+        and the cost side, which must agree).  Sweeps and trace
+        generators write ``scenario.replace(message_size=MiB(8))``
+        instead of spelling out the nested dataclass surgery.
+        """
+        collective_updates: dict[str, object] = {}
+        cost_updates: dict[str, object] = {}
+        topology_updates: dict[str, object] = {}
+        if "algorithm" in kwargs:
+            collective_updates["algorithm"] = kwargs.pop("algorithm")
+        if "message_size" in kwargs:
+            collective_updates["message_size"] = kwargs.pop("message_size")
+        if "n" in kwargs:
+            topology_updates["n"] = kwargs.pop("n")
+        if "alpha_r" in kwargs:
+            cost_updates["reconfiguration_delay"] = kwargs.pop("alpha_r")
+        for key in ("alpha", "delta", "reconfiguration_delay"):
+            if key in kwargs:
+                if key in cost_updates:
+                    raise ConfigurationError(
+                        "pass either alpha_r or reconfiguration_delay, not both"
+                    )
+                cost_updates[key] = kwargs.pop(key)
+        if "bandwidth" in kwargs:
+            bandwidth = kwargs.pop("bandwidth")
+            topology_updates["bandwidth"] = bandwidth
+            cost_updates["bandwidth"] = bandwidth
+        for field_name, updates in (
+            ("collective", collective_updates),
+            ("cost", cost_updates),
+            ("topology", topology_updates),
+        ):
+            if not updates:
+                continue
+            if field_name in kwargs:
+                raise ConfigurationError(
+                    f"cannot combine an explicit {field_name}= with the "
+                    f"shortcut keys {sorted(updates)}"
+                )
+            kwargs[field_name] = replace(getattr(self, field_name), **updates)
         return replace(self, **kwargs)
 
     # -- materialization -----------------------------------------------------

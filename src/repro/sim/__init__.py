@@ -17,6 +17,12 @@ from .flowsim import FlowLevelSimulator, SimulationResult, StepTiming
 from .rates import RATE_METHODS, FlowRate, allocate_rates
 from .runner import SimulationReport, simulate
 from .trace import EventKind, Trace, TraceEvent
+from .workload import (
+    PhaseSimResult,
+    WorkloadSimResult,
+    simulate_workload,
+    workload_many,
+)
 
 __all__ = [
     "EventQueue",
@@ -32,6 +38,10 @@ __all__ = [
     "SimStep",
     "simulate_plan",
     "sim_many",
+    "PhaseSimResult",
+    "WorkloadSimResult",
+    "simulate_workload",
+    "workload_many",
     "EventKind",
     "Trace",
     "TraceEvent",

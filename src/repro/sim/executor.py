@@ -37,8 +37,8 @@ from ..flows import (
     default_cache,
     max_concurrent_flow,
 )
+from .._validation import require_field as _require
 from ..planner import PlanResult, Scenario, plan
-from ..planner.result import _require
 from ..topology.base import Topology
 from .flowsim import FlowLevelSimulator, SimulationResult
 from .rates import RATE_METHODS

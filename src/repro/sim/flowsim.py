@@ -74,13 +74,20 @@ class StepTiming:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Complete outcome of one simulated collective."""
+    """Complete outcome of one simulated collective.
+
+    ``final_configuration`` is the circuit set the fabric holds when
+    the collective ends — the state a subsequent collective on the same
+    fabric inherits.  Only tracked under ``"physical"`` accounting
+    (``None`` for ``"paper"``, which never models explicit circuits).
+    """
 
     total_time: float
     steps: tuple[StepTiming, ...]
     trace: Trace
     reconfiguration_time: float
     n_reconfigurations: int
+    final_configuration: Configuration | None = None
 
     @property
     def communication_time(self) -> float:
@@ -185,11 +192,19 @@ class FlowLevelSimulator:
         collective: Collective,
         schedule: Schedule,
         compute_overlap: bool = False,
+        initial_configuration: Configuration | None = None,
     ) -> SimulationResult:
         """Simulate ``collective`` under ``schedule``.
 
         With ``compute_overlap=True``, per-step ``compute_time`` windows
         hide subsequent reconfigurations (research agenda extension).
+
+        ``initial_configuration`` seeds the standing circuit set —
+        the carried state of a previous collective on the same fabric
+        (workload phase chaining).  Only meaningful under ``"physical"``
+        accounting, where transitions are priced configuration to
+        configuration; ``"paper"`` accounting rejects it rather than
+        silently ignoring the carried state.
         """
         if collective.num_steps != schedule.num_steps:
             raise SimulationError(
@@ -198,6 +213,11 @@ class FlowLevelSimulator:
             )
         if collective.n != self.topology.n_ranks:
             raise SimulationError("collective and topology rank counts differ")
+        if initial_configuration is not None and self.accounting != "physical":
+            raise SimulationError(
+                "initial_configuration requires 'physical' accounting; "
+                "'paper' accounting has no explicit circuit state to seed"
+            )
 
         queue = EventQueue()
         trace = Trace()
@@ -206,7 +226,11 @@ class FlowLevelSimulator:
         n_reconf = 0
 
         previous = Decision.BASE
-        current_config = self._base_config
+        current_config = (
+            initial_configuration
+            if initial_configuration is not None
+            else self._base_config
+        )
         compute_until = 0.0  # when the previous step's compute finishes
 
         for index, step in enumerate(collective.steps):
@@ -293,4 +317,7 @@ class FlowLevelSimulator:
             trace=trace,
             reconfiguration_time=reconf_total,
             n_reconfigurations=n_reconf,
+            final_configuration=(
+                current_config if self.accounting == "physical" else None
+            ),
         )

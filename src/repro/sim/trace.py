@@ -22,6 +22,8 @@ class EventKind(enum.Enum):
     STEP_END = "step_end"
     COMPUTE_END = "compute_end"
     COLLECTIVE_END = "collective_end"
+    PHASE_START = "phase_start"
+    PHASE_END = "phase_end"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,219 @@
+"""Workload planning results: per-phase plans plus carried fabric state.
+
+A :class:`WorkloadPlan` is to :func:`repro.workload.plan_workload` what
+:class:`~repro.planner.PlanResult` is to :func:`repro.planner.plan` —
+the one normalized shape every policy returns.  Each
+:class:`PhasePlan` records the schedule chosen for one phase, the
+*physically accounted* cost of executing it (opening reconfiguration
+from the carried-in configuration included, priced by the pluggable
+delay model), and the configuration the fabric holds when the phase
+ends — the state threaded into the next phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from .._validation import require_field as _require
+from ..core.schedule import ScheduleCost
+from ..exceptions import WorkloadError
+from ..fabric.reconfiguration import (
+    Configuration,
+    ReconfigurationModel,
+    reconfiguration_model_from_dict,
+)
+from ..planner import PlanResult
+from .spec import Workload
+
+__all__ = ["PhasePlan", "WorkloadPlan"]
+
+
+def carried_to_dict(carried) -> object:
+    """Serialize a carried configuration (``None`` = base)."""
+    if carried is None:
+        return None
+    return [list(pair) for pair in carried]
+
+
+def carried_from_dict(data) -> "tuple[tuple[int, int], ...] | None":
+    """Inverse of :func:`carried_to_dict`."""
+    if data is None:
+        return None
+    return tuple(sorted((int(u), int(v)) for u, v in data))
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """One phase of a planned workload.
+
+    Attributes
+    ----------
+    index:
+        Phase position within the workload.
+    plan:
+        The per-phase schedule wrapped as a
+        :class:`~repro.planner.PlanResult`; its ``total_time`` is the
+        *memoryless* Eq. 7 prediction (constant ``alpha_r``, fabric
+        assumed to start in base), kept for comparison against the
+        physically accounted cost below.
+    cost:
+        Physical-accounting cost of this phase: per-step times plus
+        every configuration transition priced by the workload's delay
+        model — including the opening transition from ``carried_in``.
+    opening_delay:
+        The model delay charged for moving from the carried-in
+        configuration to the phase's first configuration (0.0 when they
+        coincide).
+    carried_in / carried_out:
+        Circuit configuration at phase entry / exit; ``None`` means the
+        base topology's standing circuits, otherwise the sorted
+        ``(tx, rx)`` pairs of the matched configuration.
+    """
+
+    index: int
+    plan: PlanResult
+    cost: ScheduleCost
+    opening_delay: float
+    carried_in: "tuple[tuple[int, int], ...] | None"
+    carried_out: "tuple[tuple[int, int], ...] | None"
+
+    @property
+    def phase_time(self) -> float:
+        """Physically accounted completion time of this phase."""
+        return self.cost.total
+
+    @property
+    def decisions(self) -> tuple[str, ...]:
+        """Per-step decision labels of the chosen schedule."""
+        return self.plan.decisions
+
+    def carried_in_configuration(
+        self, base: Configuration
+    ) -> Configuration:
+        """The explicit entry configuration, resolving ``None`` to the
+        base circuits."""
+        if self.carried_in is None:
+            return base
+        return frozenset(self.carried_in)
+
+    def carried_out_configuration(
+        self, base: Configuration
+    ) -> Configuration:
+        """The explicit exit configuration, resolving ``None`` to the
+        base circuits."""
+        if self.carried_out is None:
+            return base
+        return frozenset(self.carried_out)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "index": self.index,
+            "plan": self.plan.to_dict(),
+            "cost": self.cost.to_dict(),
+            "opening_delay": self.opening_delay,
+            "carried_in": carried_to_dict(self.carried_in),
+            "carried_out": carried_to_dict(self.carried_out),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PhasePlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(_require(data, "index", "phase plan")),
+            plan=PlanResult.from_dict(_require(data, "plan", "phase plan")),
+            cost=ScheduleCost.from_dict(_require(data, "cost", "phase plan")),
+            opening_delay=float(
+                _require(data, "opening_delay", "phase plan")
+            ),
+            carried_in=carried_from_dict(data.get("carried_in")),
+            carried_out=carried_from_dict(data.get("carried_out")),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """The normalized outcome of planning one workload with one policy.
+
+    ``total_time`` is the end-to-end physically accounted completion
+    time: the sum of every phase's :attr:`PhasePlan.cost` total, which
+    already includes all reconfiguration charges (phase openings and
+    within-phase transitions).
+    """
+
+    workload: Workload
+    policy: str
+    solver: str
+    model: ReconfigurationModel
+    phases: tuple[PhasePlan, ...]
+    total_time: float
+    reconfiguration_time: float
+    n_reconfigurations: int
+
+    def __post_init__(self) -> None:
+        if len(self.phases) != len(self.workload.phases):
+            raise WorkloadError(
+                f"plan covers {len(self.phases)} phases but the workload "
+                f"has {len(self.workload.phases)}"
+            )
+
+    @property
+    def num_phases(self) -> int:
+        """Number of planned phases."""
+        return len(self.phases)
+
+    @property
+    def per_phase_times(self) -> tuple[float, ...]:
+        """Physically accounted completion time of each phase."""
+        return tuple(phase.phase_time for phase in self.phases)
+
+    @property
+    def analytic_eq7_time(self) -> float:
+        """Sum of the memoryless Eq. 7 phase predictions — what a
+        planner that forgets the fabric between phases believes."""
+        return sum(phase.plan.total_time for phase in self.phases)
+
+    def speedup_over(self, other: "WorkloadPlan") -> float:
+        """``other.total_time / self.total_time``."""
+        if self.total_time == 0:
+            return float("inf")
+        return other.total_time / self.total_time
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "workload": self.workload.to_dict(),
+            "policy": self.policy,
+            "solver": self.solver,
+            "model": self.model.to_dict(),
+            "phases": [phase.to_dict() for phase in self.phases],
+            "total_time": self.total_time,
+            "reconfiguration_time": self.reconfiguration_time,
+            "n_reconfigurations": self.n_reconfigurations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            workload=Workload.from_dict(
+                _require(data, "workload", "workload plan")
+            ),
+            policy=str(_require(data, "policy", "workload plan")),
+            solver=str(data.get("solver", "dp")),
+            model=reconfiguration_model_from_dict(
+                _require(data, "model", "workload plan")
+            ),
+            phases=tuple(
+                PhasePlan.from_dict(phase)
+                for phase in _require(data, "phases", "workload plan")
+            ),
+            total_time=float(_require(data, "total_time", "workload plan")),
+            reconfiguration_time=float(
+                _require(data, "reconfiguration_time", "workload plan")
+            ),
+            n_reconfigurations=int(
+                _require(data, "n_reconfigurations", "workload plan")
+            ),
+        )

@@ -1,0 +1,167 @@
+"""Synthetic traffic traces: time-varying multi-collective workloads.
+
+Each generator expands a base :class:`~repro.planner.Scenario` (which
+fixes the fabric, rank count, and cost scalars) into a
+:class:`~repro.workload.Workload` shaped like a recognizable traffic
+pattern:
+
+* :func:`steady_trace` — the same collective arriving phase after
+  phase (a training job in steady state);
+* :func:`bursty_trace` — periodic message-size bursts (checkpointing,
+  logging, or batched parameter pulls riding on a steady flow);
+* :func:`training_loop_trace` — a forward/backward/optimizer cycle of
+  allgather, reduce-scatter, and allreduce phases, optionally
+  *phase-shifted* so successive iterations rotate the cycle (pipelined
+  stages whose collectives drift relative to each other);
+* :func:`moe_trace` — Mixture-of-Experts layers alternating a dense
+  allreduce with an expert-dispatch all-to-all.
+
+Every generator is deterministic: the same arguments always expand to
+the same workload, which is what makes ``workload_many``'s
+parallel-equals-serial guarantee (and the golden fixtures) possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import WorkloadError
+from ..planner import Scenario
+from .spec import Workload
+
+__all__ = [
+    "steady_trace",
+    "bursty_trace",
+    "training_loop_trace",
+    "moe_trace",
+]
+
+#: Default forward/backward/optimizer cycle of one training iteration:
+#: (collective algorithm, message-size scale relative to the base).
+DEFAULT_TRAINING_CYCLE: tuple[tuple[str, float], ...] = (
+    ("allgather_recursive_doubling", 0.5),
+    ("reduce_scatter_halving", 0.5),
+    ("allreduce_recursive_doubling", 1.0),
+)
+
+
+def _positive_phases(phases: int, what: str) -> int:
+    phases = int(phases)
+    if phases < 1:
+        raise WorkloadError(f"{what} needs at least one phase, got {phases}")
+    return phases
+
+
+def steady_trace(base: Scenario, phases: int, name: str = "steady") -> Workload:
+    """``phases`` identical arrivals of the base scenario's collective."""
+    phases = _positive_phases(phases, "steady_trace")
+    return Workload(
+        phases=tuple(
+            base.replace(name=f"{name}[{index}]") for index in range(phases)
+        ),
+        name=name,
+    )
+
+
+def bursty_trace(
+    base: Scenario,
+    phases: int,
+    period: int = 4,
+    burst_scale: float = 8.0,
+    name: str = "bursty",
+) -> Workload:
+    """A steady flow whose every ``period``-th phase bursts.
+
+    Burst phases carry ``burst_scale`` times the base message size —
+    the classic elephant-on-mice pattern that makes a fixed
+    reconfigure-or-not choice wrong in one direction or the other.
+    """
+    phases = _positive_phases(phases, "bursty_trace")
+    if period < 1:
+        raise WorkloadError(f"period must be >= 1, got {period}")
+    if burst_scale <= 0:
+        raise WorkloadError(f"burst_scale must be positive, got {burst_scale}")
+    out = []
+    for index in range(phases):
+        bursting = index % period == period - 1
+        scale = burst_scale if bursting else 1.0
+        out.append(
+            base.replace(
+                message_size=base.collective.message_size * scale,
+                name=f"{name}[{index}]" + ("!" if bursting else ""),
+            )
+        )
+    return Workload(phases=tuple(out), name=name)
+
+
+def training_loop_trace(
+    base: Scenario,
+    iterations: int,
+    cycle: Sequence[tuple[str, float]] = DEFAULT_TRAINING_CYCLE,
+    shift: int = 0,
+    name: str = "training",
+) -> Workload:
+    """``iterations`` repetitions of a training iteration's collectives.
+
+    Each iteration expands the ``cycle`` of ``(algorithm, message-size
+    scale)`` pairs into one phase per entry.  With ``shift > 0`` the
+    cycle is rotated by ``shift * iteration`` positions — a
+    phase-shifted loop where, e.g., one pipeline stage's backward pass
+    overlaps another's forward, so the fabric sees the collectives in a
+    drifting order.  The default cycle (allgather, reduce-scatter,
+    allreduce at half/half/full message size) requires a power-of-two
+    rank count, like the collectives it names.
+    """
+    iterations = _positive_phases(iterations, "training_loop_trace")
+    cycle = tuple((str(a), float(s)) for a, s in cycle)
+    if not cycle:
+        raise WorkloadError("training_loop_trace needs a non-empty cycle")
+    for algorithm, scale in cycle:
+        if scale <= 0:
+            raise WorkloadError(
+                f"cycle scale for {algorithm!r} must be positive, got {scale}"
+            )
+    out = []
+    for iteration in range(iterations):
+        for offset in range(len(cycle)):
+            algorithm, scale = cycle[(offset + iteration * shift) % len(cycle)]
+            out.append(
+                base.replace(
+                    algorithm=algorithm,
+                    message_size=base.collective.message_size * scale,
+                    name=f"{name}[{iteration}].{algorithm}",
+                )
+            )
+    return Workload(phases=tuple(out), name=name)
+
+
+def moe_trace(
+    base: Scenario,
+    layers: int,
+    alltoall_scale: float = 0.25,
+    name: str = "moe",
+) -> Workload:
+    """Mixture-of-Experts traffic: per layer, a dense allreduce followed
+    by an expert-dispatch all-to-all at ``alltoall_scale`` times the
+    base message size."""
+    layers = _positive_phases(layers, "moe_trace")
+    if alltoall_scale <= 0:
+        raise WorkloadError(
+            f"alltoall_scale must be positive, got {alltoall_scale}"
+        )
+    out = []
+    for layer in range(layers):
+        out.append(
+            base.replace(
+                algorithm="allreduce_recursive_doubling",
+                name=f"{name}[{layer}].allreduce",
+            )
+        )
+        out.append(
+            base.replace(
+                algorithm="alltoall",
+                message_size=base.collective.message_size * alltoall_scale,
+                name=f"{name}[{layer}].alltoall",
+            )
+        )
+    return Workload(phases=tuple(out), name=name)

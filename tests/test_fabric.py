@@ -12,6 +12,7 @@ from repro.fabric import (
     WavelengthSwitchedFabric,
     configuration_from_matching,
     configuration_from_topology,
+    reconfiguration_model_from_dict,
     touched_ports,
 )
 from repro.matching import Matching
@@ -164,3 +165,117 @@ class TestTransceiver:
             Transceiver(rate=0)
         with pytest.raises(FabricError):
             Transceiver().transmission_time(-1)
+
+
+class TestTableDelayEdges:
+    """TableReconfigurationDelay lookup at and around its knots."""
+
+    def test_below_and_at_the_first_knot(self):
+        model = TableReconfigurationDelay([(4, us(2)), (16, us(8))])
+        # requests smaller than the first tabulated port count are
+        # covered by the first (smallest sufficient) sample
+        assert model.delay_for_ports(1) == us(2)
+        assert model.delay_for_ports(3) == us(2)
+        assert model.delay_for_ports(4) == us(2)
+
+    def test_between_knots_rounds_up(self):
+        model = TableReconfigurationDelay([(4, us(2)), (16, us(8))])
+        assert model.delay_for_ports(5) == us(8)
+        assert model.delay_for_ports(15) == us(8)
+        assert model.delay_for_ports(16) == us(8)
+
+    def test_beyond_the_last_knot_clamps(self):
+        model = TableReconfigurationDelay([(4, us(2)), (16, us(8))])
+        assert model.delay_for_ports(17) == us(8)
+        assert model.delay_for_ports(10_000) == us(8)
+
+    def test_unsorted_samples_are_canonicalized(self):
+        shuffled = TableReconfigurationDelay([(16, us(8)), (4, us(2))])
+        ordered = TableReconfigurationDelay([(4, us(2)), (16, us(8))])
+        for ports in (1, 4, 5, 16, 40):
+            assert shuffled.delay_for_ports(ports) == ordered.delay_for_ports(
+                ports
+            )
+
+    def test_single_knot_table(self):
+        model = TableReconfigurationDelay([(8, us(3))])
+        assert model.delay_for_ports(1) == us(3)
+        assert model.delay_for_ports(8) == us(3)
+        assert model.delay_for_ports(9) == us(3)
+        assert model.delay_for_ports(0) == 0.0
+
+
+class TestZeroDeltaConfigurations:
+    """All models return exactly 0.0 for a no-op transition."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ConstantReconfigurationDelay(us(10)),
+            PerPortReconfigurationDelay(base=us(1), per_port=us(2)),
+            TableReconfigurationDelay([(2, us(1)), (8, us(5))]),
+        ],
+        ids=["constant", "per_port", "table"],
+    )
+    def test_identical_configurations_are_free(self, model):
+        config = configuration_from_matching(Matching(6, [(0, 1), (2, 3)]))
+        assert model.delay(config, config) == 0.0
+        assert model.delay(frozenset(), frozenset()) == 0.0
+        assert model.delay_for_ports(0) == 0.0
+
+
+class TestPerPortOverlappingMatchings:
+    """Port counting when consecutive matchings partially overlap."""
+
+    def test_counts_only_touched_ports(self):
+        model = PerPortReconfigurationDelay(base=us(1), per_port=us(2))
+        previous = configuration_from_matching(
+            Matching(8, [(0, 1), (2, 3), (4, 5)])
+        )
+        target = configuration_from_matching(
+            Matching(8, [(0, 1), (2, 3), (4, 6)])
+        )
+        # only the (4, 5) -> (4, 6) circuit changes: ports 4, 5, 6
+        assert touched_ports(previous, target) == frozenset({4, 5, 6})
+        assert model.delay(previous, target) == us(1) + 3 * us(2)
+
+    def test_disjoint_matchings_touch_everything(self):
+        model = PerPortReconfigurationDelay(base=us(1), per_port=us(2))
+        previous = configuration_from_matching(Matching(4, [(0, 1), (2, 3)]))
+        target = configuration_from_matching(Matching(4, [(1, 0), (3, 2)]))
+        # every circuit is torn down and a reversed one established;
+        # all four ports are touched exactly once each
+        assert touched_ports(previous, target) == frozenset({0, 1, 2, 3})
+        assert model.delay(previous, target) == us(1) + 4 * us(2)
+
+    def test_teardown_only_counts_ports(self):
+        model = PerPortReconfigurationDelay(base=us(1), per_port=us(2))
+        previous = configuration_from_matching(Matching(4, [(0, 1), (2, 3)]))
+        target = configuration_from_matching(Matching(4, [(0, 1)]))
+        assert touched_ports(previous, target) == frozenset({2, 3})
+        assert model.delay(previous, target) == us(1) + 2 * us(2)
+
+
+class TestModelSerialization:
+    """Delay models round-trip through plain dicts."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ConstantReconfigurationDelay(us(10)),
+            PerPortReconfigurationDelay(base=us(1), per_port=us(2)),
+            TableReconfigurationDelay([(8, us(5)), (2, us(1))]),
+        ],
+        ids=["constant", "per_port", "table"],
+    )
+    def test_round_trip(self, model):
+        rebuilt = reconfiguration_model_from_dict(model.to_dict())
+        assert type(rebuilt) is type(model)
+        for ports in (0, 1, 2, 5, 9, 100):
+            assert rebuilt.delay_for_ports(ports) == model.delay_for_ports(
+                ports
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FabricError, match="unknown reconfiguration"):
+            reconfiguration_model_from_dict({"kind": "quantum"})

@@ -484,3 +484,67 @@ class TestCostParametersReplace:
         assert params.with_reconfiguration_delay(us(7)) == params.replace(
             reconfiguration_delay=us(7)
         )
+
+
+class TestScenarioReplace:
+    """``Scenario.replace`` convenience overrides (mirrors
+    ``CostParameters.replace``, plus the flat keys of ``create``)."""
+
+    def test_top_level_fields(self):
+        scenario = paper_scenario()
+        renamed = scenario.replace(name="swept", theta_method="lp")
+        assert renamed.name == "swept"
+        assert renamed.theta_method == "lp"
+        assert renamed.topology == scenario.topology
+
+    def test_nested_convenience_keys(self):
+        scenario = paper_scenario()
+        swept = scenario.replace(
+            algorithm="alltoall",
+            message_size=MiB(8),
+            alpha_r=us(99),
+            alpha=ns(200),
+            delta=ns(50),
+            n=16,
+        )
+        assert swept.collective.algorithm == "alltoall"
+        assert swept.collective.message_size == MiB(8)
+        assert swept.cost.reconfiguration_delay == us(99)
+        assert swept.cost.alpha == ns(200)
+        assert swept.cost.delta == ns(50)
+        assert swept.topology.n == 16
+        # untouched fields survive
+        assert swept.topology.family == scenario.topology.family
+        assert swept.cost.bandwidth == scenario.cost.bandwidth
+
+    def test_bandwidth_updates_both_sides(self):
+        swept = paper_scenario().replace(bandwidth=Gbps(400))
+        assert swept.topology.bandwidth == Gbps(400)
+        assert swept.cost.bandwidth == Gbps(400)
+
+    def test_reconfiguration_delay_alias(self):
+        scenario = paper_scenario()
+        assert scenario.replace(alpha_r=us(3)) == scenario.replace(
+            reconfiguration_delay=us(3)
+        )
+        with pytest.raises(ConfigurationError, match="not both"):
+            scenario.replace(alpha_r=us(3), reconfiguration_delay=us(4))
+
+    def test_shortcuts_conflict_with_explicit_specs(self):
+        scenario = paper_scenario()
+        with pytest.raises(ConfigurationError, match="cannot combine"):
+            scenario.replace(
+                message_size=MiB(1), collective=scenario.collective
+            )
+
+    def test_validation_still_runs(self):
+        scenario = paper_scenario()
+        with pytest.raises(ConfigurationError):
+            scenario.replace(algorithm="not-a-collective")
+        with pytest.raises(ScheduleError):
+            scenario.replace(alpha=-1.0)
+
+    def test_replace_round_trips_equality(self):
+        scenario = paper_scenario()
+        assert scenario.replace() == scenario
+        assert scenario.replace(message_size=MiB(64)) == scenario

@@ -1,0 +1,160 @@
+"""Golden regression test: pin a small planned workload at n=16.
+
+The committed fixture ``tests/fixtures/golden_workload_n16.json``
+records, for every online policy, the per-phase physically accounted
+times, schedules, and reconfiguration counts of a 3-phase training loop
+(one allgather / reduce-scatter / allreduce iteration) on the n=16
+paper ring under a per-port delay model.  Any refactor of the workload
+engine, the physical DP, the delay models, or the planner plumbing that
+moves these numbers fails here and must be an explicit, reviewed
+fixture regeneration:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_workload_golden.py
+
+On failure the freshly computed record is written next to the fixture
+(``golden_workload_n16.actual.json``) for diffing, matching the
+figure-grid golden harness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fabric import PerPortReconfigurationDelay
+from repro.flows import ThroughputCache
+from repro.planner import Scenario
+from repro.units import Gbps, MiB, ns, us
+from repro.workload import plan_workload, training_loop_trace
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_workload_n16.json"
+ACTUAL = FIXTURE.parent / "golden_workload_n16.actual.json"
+N = 16
+
+#: Same tolerance rationale as the figure-grid goldens: loose enough
+#: for LP-solver noise in the last ulps, tight enough that any real
+#: modelling change fails.
+REL_TOL = 1e-6
+
+POLICIES = ("replan", "hysteresis", "oracle")
+
+
+def compute_record() -> dict:
+    """Plan the 3-phase training loop at n=16 under every policy."""
+    base = Scenario.create(
+        "allreduce_recursive_doubling",
+        n=N,
+        message_size=MiB(8),
+        bandwidth=Gbps(800),
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+        topology="ring",
+        topology_options={"bidirectional": True},
+    )
+    workload = training_loop_trace(base, iterations=1)
+    model = PerPortReconfigurationDelay(base=us(2), per_port=ns(500))
+    cache = ThroughputCache()
+    policies = {}
+    for policy in POLICIES:
+        plan = plan_workload(
+            workload,
+            policy=policy,
+            reconfiguration_model=model,
+            cache=cache,
+        )
+        policies[policy] = {
+            "total_time": plan.total_time,
+            "reconfiguration_time": plan.reconfiguration_time,
+            "n_reconfigurations": plan.n_reconfigurations,
+            "per_phase_times": list(plan.per_phase_times),
+            "schedules": [str(p.plan.schedule) for p in plan.phases],
+            "opening_delays": [p.opening_delay for p in plan.phases],
+        }
+    return {
+        "n": N,
+        "num_phases": len(workload),
+        "model": model.to_dict(),
+        "policies": policies,
+    }
+
+
+@pytest.fixture(scope="module")
+def actual() -> dict:
+    return compute_record()
+
+
+def test_fixture_exists_or_regenerate(actual):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(exist_ok=True)
+        FIXTURE.write_text(json.dumps(actual, indent=2) + "\n")
+    assert FIXTURE.exists(), (
+        f"golden fixture {FIXTURE} is missing; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def _close(want, have) -> bool:
+    if isinstance(want, float) or isinstance(have, float):
+        return math.isclose(float(want), float(have), rel_tol=REL_TOL)
+    return want == have
+
+
+def test_workload_matches_golden_fixture(actual):
+    if not FIXTURE.exists():
+        pytest.skip("fixture missing (covered by test_fixture_exists)")
+    golden = json.loads(FIXTURE.read_text())
+    mismatches = []
+    for key in ("n", "num_phases", "model"):
+        if golden[key] != actual[key]:
+            mismatches.append(f"{key}: fixture={golden[key]!r} got={actual[key]!r}")
+    for policy in POLICIES:
+        want = golden["policies"][policy]
+        have = actual["policies"][policy]
+        for field in ("total_time", "reconfiguration_time", "n_reconfigurations"):
+            if not _close(want[field], have[field]):
+                mismatches.append(
+                    f"{policy}/{field}: fixture={want[field]!r} "
+                    f"got={have[field]!r}"
+                )
+        for field in ("per_phase_times", "opening_delays"):
+            for index, (w, h) in enumerate(zip(want[field], have[field])):
+                if not _close(w, h):
+                    mismatches.append(
+                        f"{policy}/{field}[{index}]: fixture={w!r} got={h!r}"
+                    )
+        if want["schedules"] != have["schedules"]:
+            mismatches.append(
+                f"{policy}/schedules: fixture={want['schedules']} "
+                f"got={have['schedules']}"
+            )
+    if mismatches:
+        ACTUAL.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.fail(
+            "golden workload drifted from the committed fixture "
+            f"({len(mismatches)} fields); wrote {ACTUAL} for diffing.\n"
+            + "\n".join(mismatches[:20])
+        )
+
+
+def test_golden_policies_are_internally_consistent(actual):
+    """Sanity on the pinned numbers themselves: the oracle (exact
+    full-horizon DP) never loses to either online policy, and every
+    phase time is finite and positive."""
+    totals = {
+        policy: actual["policies"][policy]["total_time"]
+        for policy in POLICIES
+    }
+    assert totals["oracle"] <= totals["hysteresis"] * (1 + 1e-12)
+    assert totals["oracle"] <= totals["replan"] * (1 + 1e-12)
+    for policy in POLICIES:
+        data = actual["policies"][policy]
+        assert data["total_time"] == pytest.approx(
+            sum(data["per_phase_times"]), rel=1e-12
+        )
+        for value in data["per_phase_times"]:
+            assert value > 0 and math.isfinite(value)

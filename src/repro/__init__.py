@@ -40,6 +40,7 @@ from . import (
     bvn,
     collectives,
     core,
+    engine,
     experiments,
     fabric,
     flows,
@@ -47,6 +48,17 @@ from . import (
     sim,
     topology,
     workload,
+)
+from .engine import (
+    DiskStore,
+    ThetaEnvelope,
+    activate_disk_cache,
+    available_throughput_backends,
+    compute_theta_backend,
+    plan_workload_many,
+    register_throughput_backend,
+    sim_many,
+    theta_envelope,
 )
 from .collectives import (
     Collective,
@@ -118,12 +130,23 @@ __all__ = [
     "flows",
     "bvn",
     "core",
+    "engine",
     "fabric",
     "planner",
     "sim",
     "workload",
     "analysis",
     "experiments",
+    # the unified evaluation engine
+    "sim_many",
+    "plan_workload_many",
+    "compute_theta_backend",
+    "theta_envelope",
+    "ThetaEnvelope",
+    "register_throughput_backend",
+    "available_throughput_backends",
+    "DiskStore",
+    "activate_disk_cache",
     # the unified planner API
     "Scenario",
     "TopologySpec",

@@ -224,7 +224,9 @@ def evaluate_multiport_step_costs(
                 topology,
                 step.matchings[0],
                 compute,
-                tag=f"theta-multiport:{ports}",
+                # Like compute_theta's tag, the per-port reference rate
+                # is part of the identity of the cached value.
+                tag=f"theta-multiport:{ports}@{per_port_rate!r}",
             )
         hops = max(topology.hop_distance(src, dst) for src, dst in pairs)
         costs.append(

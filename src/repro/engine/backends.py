@@ -1,0 +1,264 @@
+"""Pluggable throughput backends.
+
+Every layer of the reproduction — planner solvers, the flow simulator,
+the workload engine — bottoms out in "what is theta(G, M)?".  This
+module names the ways of answering as *backends* behind one registry:
+
+========== ===========================================================
+name       answers with
+========== ===========================================================
+exact-lp   the HiGHS maximum-concurrent-flow LP
+           (:func:`repro.flows.max_concurrent_flow`) — ground truth.
+closed-form the exact closed forms of :mod:`repro.flows.closed_forms`
+           when the (topology, pattern) pair has one (uniform shifts
+           on rings, XOR exchanges on hypercubes, dedicated matched
+           circuits), falling back to the LP otherwise.  Same values
+           as ``exact-lp`` (the test suite pins agreement at 1e-9),
+           orders of magnitude cheaper where a formula applies.
+bounds     the cheap sandwich from :mod:`repro.flows.bounds` — the
+           shortest-path feasible lower bound and the degree/flow-hop
+           proxy upper bound — as a :class:`ThetaEnvelope`.  For
+           coarse pre-screening of large grids before exact
+           refinement; ``theta()`` returns the optimistic upper edge.
+========== ===========================================================
+
+Backends share the two-tier :class:`~repro.flows.ThroughputCache`
+(values are tagged per estimator, so the content-addressed disk store
+never conflates an envelope edge with an exact value).  Downstream code
+registers custom estimators with :func:`register_throughput_backend`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError, FlowError
+from ..flows import ThroughputCache, compute_theta, default_cache
+from ..matching import Matching
+from ..topology.base import Topology
+
+__all__ = [
+    "ThetaEnvelope",
+    "ThroughputBackend",
+    "ExactLPBackend",
+    "ClosedFormBackend",
+    "BoundsBackend",
+    "register_throughput_backend",
+    "unregister_throughput_backend",
+    "available_throughput_backends",
+    "get_throughput_backend",
+    "compute_theta_backend",
+    "theta_envelope",
+    "scenario_theta_method",
+]
+
+
+@dataclass(frozen=True)
+class ThetaEnvelope:
+    """A cheap ``lower <= theta <= upper`` sandwich for one pattern."""
+
+    lower: float
+    upper: float
+
+    @property
+    def width(self) -> float:
+        """Absolute gap between the edges (``0.0`` when both infinite)."""
+        if math.isinf(self.upper) and math.isinf(self.lower):
+            return 0.0
+        return self.upper - self.lower
+
+    def brackets(self, value: float, rel_tol: float = 1e-9) -> bool:
+        """Whether ``value`` lies inside the envelope (with float slack)."""
+        if math.isinf(value):
+            return math.isinf(self.upper)
+        slack_low = self.lower - rel_tol * max(abs(self.lower), 1.0)
+        slack_high = self.upper + rel_tol * max(abs(self.upper), 1.0)
+        return slack_low <= value <= slack_high
+
+
+class ThroughputBackend:
+    """Base class: one way of evaluating ``theta(G, M)``.
+
+    Attributes
+    ----------
+    name:
+        Registry name.
+    scenario_method:
+        The :class:`~repro.planner.Scenario` ``theta_method`` this
+        backend corresponds to, or ``None`` when the backend has no
+        scalar scenario routing (the envelope).
+    """
+
+    name: str = ""
+    scenario_method: str | None = None
+
+    def theta(
+        self,
+        topology: Topology,
+        matching: Matching,
+        reference_rate: float | None = None,
+        cache: ThroughputCache | None = default_cache,
+    ) -> float:
+        raise NotImplementedError  # pragma: no cover
+
+
+class ExactLPBackend(ThroughputBackend):
+    """Ground truth: always solve the maximum-concurrent-flow LP."""
+
+    name = "exact-lp"
+    scenario_method = "lp"
+
+    def theta(self, topology, matching, reference_rate=None, cache=default_cache):
+        return compute_theta(
+            topology, matching, reference_rate, method="lp", cache=cache
+        )
+
+
+class ClosedFormBackend(ThroughputBackend):
+    """Closed form when a formula exists, exact LP otherwise."""
+
+    name = "closed-form"
+    scenario_method = "auto"
+
+    def theta(self, topology, matching, reference_rate=None, cache=default_cache):
+        return compute_theta(
+            topology, matching, reference_rate, method="auto", cache=cache
+        )
+
+
+class BoundsBackend(ThroughputBackend):
+    """The cheap upper/lower envelope, for coarse grid pre-screening."""
+
+    name = "bounds"
+    scenario_method = None
+
+    def envelope(
+        self,
+        topology: Topology,
+        matching: Matching,
+        reference_rate: float | None = None,
+        cache: ThroughputCache | None = default_cache,
+    ) -> ThetaEnvelope:
+        """Both edges (each memoized under its own estimator tag)."""
+        lower = compute_theta(
+            topology, matching, reference_rate, method="sp", cache=cache
+        )
+        upper = compute_theta(
+            topology, matching, reference_rate, method="proxy", cache=cache
+        )
+        return ThetaEnvelope(lower=lower, upper=upper)
+
+    def theta(self, topology, matching, reference_rate=None, cache=default_cache):
+        """The optimistic (upper) edge — the standard screening value."""
+        return self.envelope(topology, matching, reference_rate, cache).upper
+
+
+_BACKENDS: dict[str, ThroughputBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_throughput_backend(
+    backend: ThroughputBackend, *, overwrite: bool = False
+) -> None:
+    """Register a backend under its ``name``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on duplicate
+    names unless ``overwrite=True``.
+    """
+    name = str(getattr(backend, "name", "") or "")
+    if not name:
+        raise ConfigurationError("throughput backend needs a non-empty name")
+    if not callable(getattr(backend, "theta", None)):
+        raise ConfigurationError(
+            f"throughput backend {name!r} must provide a theta() method"
+        )
+    with _REGISTRY_LOCK:
+        if name in _BACKENDS and not overwrite:
+            raise ConfigurationError(
+                f"throughput backend {name!r} is already registered; pass "
+                f"overwrite=True to replace it"
+            )
+        _BACKENDS[name] = backend
+
+
+def unregister_throughput_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests)."""
+    with _REGISTRY_LOCK:
+        if name not in _BACKENDS:
+            raise ConfigurationError(
+                f"throughput backend {name!r} is not registered"
+            )
+        del _BACKENDS[name]
+
+
+def available_throughput_backends() -> tuple[str, ...]:
+    """Sorted names of all registered throughput backends."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_BACKENDS))
+
+
+def get_throughput_backend(name: str) -> ThroughputBackend:
+    """Look up a backend by name."""
+    with _REGISTRY_LOCK:
+        backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ConfigurationError(
+            f"unknown throughput backend {name!r}; available: "
+            f"{available_throughput_backends()}"
+        )
+    return backend
+
+
+def compute_theta_backend(
+    topology: Topology,
+    matching: Matching,
+    reference_rate: float | None = None,
+    backend: str = "closed-form",
+    cache: ThroughputCache | None = default_cache,
+) -> float:
+    """Evaluate theta through a named backend (the engine front door)."""
+    return get_throughput_backend(backend).theta(
+        topology, matching, reference_rate, cache
+    )
+
+
+def theta_envelope(
+    topology: Topology,
+    matching: Matching,
+    reference_rate: float | None = None,
+    cache: ThroughputCache | None = default_cache,
+) -> ThetaEnvelope:
+    """The ``bounds`` backend's sandwich for one pattern."""
+    backend = get_throughput_backend("bounds")
+    if not isinstance(backend, BoundsBackend):  # pragma: no cover - guard
+        raise FlowError("the 'bounds' backend was replaced by a non-envelope one")
+    return backend.envelope(topology, matching, reference_rate, cache)
+
+
+def scenario_theta_method(backend: str) -> str:
+    """Map a backend name to the ``Scenario.theta_method`` it implies.
+
+    Used by the engine's batch entry points to route whole grids
+    through one backend; envelope-style backends have no scalar
+    scenario routing and raise.
+    """
+    method = get_throughput_backend(backend).scenario_method
+    if method is None:
+        raise ConfigurationError(
+            f"throughput backend {backend!r} produces envelopes, not scalar "
+            "theta values; it cannot drive scenario planning (use it for "
+            "pre-screening via theta_envelope)"
+        )
+    return method
+
+
+def register_builtin_backends(overwrite: bool = False) -> None:
+    """Install the built-in backend set into the registry."""
+    register_throughput_backend(ExactLPBackend(), overwrite=overwrite)
+    register_throughput_backend(ClosedFormBackend(), overwrite=overwrite)
+    register_throughput_backend(BoundsBackend(), overwrite=overwrite)
+
+
+register_builtin_backends()

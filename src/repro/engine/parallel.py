@@ -1,0 +1,223 @@
+"""Execution backends: serial, thread pool, process pool.
+
+The batch entry points (:func:`repro.engine.plan_many` and friends)
+accept ``parallel_backend="serial" | "thread" | "process"``:
+
+* ``serial`` — one item after another in the calling thread.
+* ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; cheap
+  to spin up and shares the caller's cache object directly, but the
+  pure-python parts (schedule DP, LP assembly, collective expansion)
+  serialize on the GIL.
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`;
+  work items ship as picklable dicts (see :mod:`repro.engine.tasks`),
+  workers share theta values through the content-addressed
+  :class:`~repro.engine.DiskStore` (the caller's attached store, or a
+  transient per-batch directory when the cache has none), and each
+  worker's cache delta is merged back into the caller's cache.  This
+  breaks the GIL ceiling at the cost of result round-trips through
+  ``to_dict`` — event traces, which are deliberately not serialized,
+  come back empty.
+
+Results always come back in input order, and every item is a pure
+function of its inputs, so all three backends are bit-identical on the
+scientific payload (the process backend does not carry per-call cache
+statistics, which are an interleaving-dependent observability sidecar).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections.abc import Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from . import tasks
+
+__all__ = ["EXECUTION_BACKENDS", "resolve_execution_backend", "execute_batch"]
+
+#: The recognized ``parallel_backend`` names.
+EXECUTION_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_execution_backend(
+    parallel_backend: str | None,
+    parallel: int | None,
+    n_items: int,
+    error: type[Exception] = ConfigurationError,
+) -> tuple[str, int]:
+    """Normalize (backend, worker count) from the user-facing knobs.
+
+    ``parallel_backend=None`` keeps the legacy contract: ``parallel``
+    of ``None`` or ``1`` runs serially, anything larger uses threads.
+    An explicit backend with ``parallel=None`` sizes the pool to the
+    machine (capped by the batch length).  Thread pools quietly
+    collapse to serial when one worker suffices — same code path, same
+    results.  An explicitly requested *process* backend is always
+    honored, even for single-item batches: its result contract differs
+    (dict round-trips, no per-call cache statistics), and that must
+    not depend on the batch length.
+    """
+    if parallel is not None and parallel < 1:
+        raise error(f"parallel must be >= 1, got {parallel}")
+    if parallel_backend is None:
+        backend = "serial" if parallel is None or parallel == 1 else "thread"
+    elif parallel_backend not in EXECUTION_BACKENDS:
+        raise error(
+            f"unknown parallel_backend {parallel_backend!r}; choose from "
+            f"{EXECUTION_BACKENDS}"
+        )
+    else:
+        backend = parallel_backend
+    if backend == "serial":
+        return "serial", 1
+    workers = parallel if parallel is not None else (os.cpu_count() or 2)
+    workers = max(1, min(workers, n_items))
+    if backend == "thread" and (workers == 1 or n_items <= 1):
+        return "serial", 1
+    return backend, workers
+
+
+def _affinity_chunks(
+    n_items: int,
+    keys: "Sequence | None",
+    workers: int,
+) -> list[list[int]]:
+    """Partition item indices into chunks scheduled for theta reuse.
+
+    Items are grouped by their *affinity key* (scenarios that need the
+    same theta computations — same topology and step patterns — share a
+    key), chunked within each group, and the chunks are interleaved
+    round-robin across groups.  Workers pull chunks from the pool's
+    queue in this order, so at any moment concurrent workers tend to
+    hold chunks from *different* groups: the first worker to touch a
+    group publishes its LP solves to the shared store before the next
+    worker reaches that group, instead of every worker re-solving the
+    same thetas side by side.  With no keys the original order is kept
+    (plain contiguous chunking).
+    """
+    target = max(1, math.ceil(n_items / (workers * 4)))
+    groups: dict[object, list[int]] = {}
+    if keys is None:
+        groups[None] = list(range(n_items))
+    else:
+        for index in range(n_items):
+            groups.setdefault(keys[index], []).append(index)
+    per_group = [
+        [indices[i : i + target] for i in range(0, len(indices), target)]
+        for indices in groups.values()
+    ]
+    chunks: list[list[int]] = []
+    round_index = 0
+    while any(per_group):
+        for group in per_group:
+            if round_index < len(group):
+                chunks.append(group[round_index])
+        round_index += 1
+        per_group = [g for g in per_group if round_index < len(g)]
+    return chunks
+
+
+def _resolve_store_dir(cache) -> tuple[str | None, str | None, bool]:
+    """Pick the store directory (and filename) process workers share.
+
+    The caller's attached disk store when it has one (the engine's
+    ``_session_cache`` is what routes ``REPRO_CACHE_DIR`` onto the
+    default cache, so explicitly isolated caches stay hermetic — the
+    environment never reaches past them), else a transient per-batch
+    temp directory so workers still share their LP solves mid-batch.
+    Custom :class:`~repro.flows.ThetaStore` implementations without a
+    file layout also get the transient directory — their entries are
+    fed afterwards from the merged worker delta (see
+    :func:`execute_batch`).  With caching disabled entirely
+    (``cache is None``) the workers get no store.  Returns
+    ``(directory, filename, is_transient)``.
+    """
+    if cache is None:
+        return None, None, False
+    store = getattr(cache, "store", None)
+    directory = getattr(store, "directory", None)
+    if directory is not None:
+        path = getattr(store, "path", None)
+        filename = path.name if path is not None else None
+        return str(directory), filename, False
+    return tempfile.mkdtemp(prefix="repro-theta-"), None, True
+
+
+def execute_batch(
+    run_one: Callable,
+    items: Sequence,
+    *,
+    task_name: str,
+    make_payload: Callable,
+    task_kwargs: dict,
+    rebuild: Callable,
+    parallel_backend: str | None,
+    parallel: int | None,
+    cache,
+    affinity: Callable | None = None,
+    error: type[Exception] = ConfigurationError,
+) -> list:
+    """Run a batch through the resolved execution backend.
+
+    ``run_one`` handles one in-process item (serial and thread paths);
+    ``make_payload`` / ``rebuild`` convert items to picklable dicts and
+    back for the process path, which dispatches ``task_name`` chunks to
+    :func:`repro.engine.tasks.run_chunk` in the pool.  ``affinity``
+    maps an item to its theta-reuse group key (see
+    :func:`_affinity_chunks`); results always come back in input order
+    regardless of the chunk schedule.
+    """
+    items = list(items)
+    backend, workers = resolve_execution_backend(
+        parallel_backend, parallel, len(items), error=error
+    )
+    if not items:
+        return []
+    if backend == "serial":
+        return [run_one(item) for item in items]
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(run_one, items))
+
+    store_dir, store_filename, transient = _resolve_store_dir(cache)
+    keys = None if affinity is None else [affinity(item) for item in items]
+    chunks = _affinity_chunks(len(items), keys, workers)
+    results: list = [None] * len(items)
+    delta: list = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=tasks.init_worker,
+            initargs=(store_dir, store_filename),
+        ) as executor:
+            futures = [
+                executor.submit(
+                    tasks.run_chunk,
+                    [
+                        (task_name, make_payload(items[index]), task_kwargs)
+                        for index in chunk
+                    ],
+                )
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                datas, chunk_delta = future.result()
+                delta.extend(chunk_delta)
+                for index, data in zip(chunk, datas):
+                    results[index] = rebuild(data)
+    finally:
+        if transient and store_dir:
+            shutil.rmtree(store_dir, ignore_errors=True)
+    if cache is not None and delta:
+        cache.merge_delta(delta)
+        store = getattr(cache, "store", None)
+        if transient and store is not None:
+            # The caller attached a store the workers could not share
+            # (a custom ThetaStore without a file layout); persist the
+            # merged delta so its tier-2 contract still holds.
+            for digest, value in delta:
+                store.save(digest, value)
+    return results

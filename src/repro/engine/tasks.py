@@ -1,0 +1,167 @@
+"""Process-pool worker tasks for the evaluation engine.
+
+Everything that crosses the process boundary is a plain picklable
+payload: scenarios, plans, and workloads travel as their ``to_dict``
+forms, solver/simulator knobs as scalars, and reconfiguration models as
+their ``to_dict`` forms.  Results come back the same way, plus the
+worker's *cache delta* — the ``(digest, value)`` theta computations it
+performed — which the parent merges into its own cache (and, when one
+is attached, the shared on-disk store the workers already wrote to).
+
+Each worker process holds one module-global
+:class:`~repro.flows.ThroughputCache` wired to the shared
+:class:`~repro.engine.DiskStore` by :func:`init_worker`, so workers
+pick up each other's LP solves mid-batch through the store's
+incremental tail-reads instead of re-solving.
+
+All task functions are module-level (hence picklable by reference) and
+import the heavier layers lazily — they run inside worker processes,
+so nothing here may create import cycles with the packages the engine
+orchestrates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["init_worker", "worker_cache", "run_task", "run_chunk", "TASK_NAMES"]
+
+_WORKER_CACHE = None
+
+
+def init_worker(store_dir: str | None, store_filename: str | None = None) -> None:
+    """Process-pool initializer: build this worker's two-tier cache."""
+    global _WORKER_CACHE
+    from ..flows import ThroughputCache
+    from .store import STORE_FILENAME, DiskStore
+
+    store = (
+        DiskStore(store_dir, filename=store_filename or STORE_FILENAME)
+        if store_dir
+        else None
+    )
+    _WORKER_CACHE = ThroughputCache(store=store, track_delta=True)
+
+
+def worker_cache():
+    """This worker's cache (created bare if no initializer ran, which
+    happens when tasks are exercised in-process by the test suite)."""
+    if _WORKER_CACHE is None:
+        init_worker(None)
+    return _WORKER_CACHE
+
+
+def _plan_task(payload: dict, kwargs: dict) -> tuple[dict, list]:
+    """Plan one scenario; return (PlanResult dict, cache delta)."""
+    from ..planner.registry import plan
+    from ..planner.result import PlanRequest
+    from ..planner.scenario import Scenario, _freeze_options
+
+    cache = worker_cache()
+    request = PlanRequest(
+        scenario=Scenario.from_dict(payload["scenario"]),
+        solver=payload["solver"],
+        options=_freeze_options(payload.get("options")),
+    )
+    result = plan(request, cache=cache)
+    data = result.to_dict()
+    # Worker-local cache statistics are not meaningful to the caller
+    # (and would break serial/process bit-identity), so drop them.
+    data.pop("cache_stats", None)
+    return data, cache.drain_delta()
+
+
+def _sim_task(payload: dict, kwargs: dict) -> tuple[dict, list]:
+    """Simulate one scenario/plan; return (SimResult dict, delta)."""
+    from ..planner.result import PlanResult
+    from ..planner.scenario import Scenario
+    from ..sim.executor import simulate_plan
+
+    cache = worker_cache()
+    sim_kwargs = dict(kwargs["sim"])
+    if payload["kind"] == "plan":
+        result = simulate_plan(
+            PlanResult.from_dict(payload["item"]), cache=cache, **sim_kwargs
+        )
+    else:
+        result = simulate_plan(
+            Scenario.from_dict(payload["item"]),
+            solver=kwargs["solver"],
+            cache=cache,
+            **sim_kwargs,
+            **kwargs["options"],
+        )
+    return result.to_dict(), cache.drain_delta()
+
+
+def _rebuild_model(data: dict | None):
+    from ..fabric.reconfiguration import reconfiguration_model_from_dict
+
+    return None if data is None else reconfiguration_model_from_dict(data)
+
+
+def _workload_task(payload: dict, kwargs: dict) -> tuple[dict, list]:
+    """Plan+execute one workload; return (WorkloadSimResult dict, delta)."""
+    from ..sim.workload import simulate_workload
+    from ..workload.result import WorkloadPlan
+    from ..workload.spec import Workload
+
+    cache = worker_cache()
+    sim_kwargs = dict(kwargs["sim"])
+    if payload["kind"] == "plan":
+        result = simulate_workload(
+            WorkloadPlan.from_dict(payload["item"]), cache=cache, **sim_kwargs
+        )
+    else:
+        result = simulate_workload(
+            Workload.from_dict(payload["item"]),
+            policy=kwargs["policy"],
+            solver=kwargs["solver"],
+            reconfiguration_model=_rebuild_model(kwargs["model"]),
+            cache=cache,
+            **sim_kwargs,
+            **kwargs["options"],
+        )
+    return result.to_dict(), cache.drain_delta()
+
+
+def _workload_plan_task(payload: dict, kwargs: dict) -> tuple[dict, list]:
+    """Plan one workload (no execution); return (WorkloadPlan dict, delta)."""
+    from ..workload.policies import plan_workload
+    from ..workload.spec import Workload
+
+    cache = worker_cache()
+    plan = plan_workload(
+        Workload.from_dict(payload["workload"]),
+        policy=payload["policy"],
+        solver=kwargs["solver"],
+        reconfiguration_model=_rebuild_model(kwargs["model"]),
+        cache=cache,
+        **payload.get("options", {}),
+    )
+    return plan.to_dict(), cache.drain_delta()
+
+
+_TASKS = {
+    "plan": _plan_task,
+    "sim": _sim_task,
+    "workload": _workload_task,
+    "workload-plan": _workload_plan_task,
+}
+
+TASK_NAMES = tuple(sorted(_TASKS))
+
+
+def run_task(item: tuple[str, dict, dict]) -> tuple[dict, list]:
+    """Dispatch one (task name, payload, kwargs) work item."""
+    name, payload, kwargs = item
+    return _TASKS[name](payload, kwargs)
+
+
+def run_chunk(work: list[tuple[str, dict, dict]]) -> tuple[list[dict], list]:
+    """Dispatch a chunk of work items; one delta for the whole chunk."""
+    datas: list[dict] = []
+    delta: list = []
+    for item in work:
+        data, item_delta = run_task(item)
+        datas.append(data)
+        delta.extend(item_delta)
+    return datas, delta

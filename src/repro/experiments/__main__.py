@@ -2,8 +2,9 @@
 
 Subcommands:
 
-* ``figure1 [--panel a..h] [--n N] [--csv DIR] [--parallel N]`` — Figure 1.
-* ``figure2 [--n N] [--csv DIR] [--parallel N]``                — Figure 2.
+* ``figure1 [--panel a..h] [--n N] [--csv DIR] [--parallel N]
+  [--parallel-backend serial|thread|process]`` — Figure 1.
+* ``figure2 [--n N] [--csv DIR] [--parallel N] [...]``  — Figure 2.
 * ``plan [...]``      — plan one scenario through the unified planner.
 * ``simulate [...]``  — plan a scenario, then *execute* the plan on the
   flow-level simulator and report measured vs analytic time.
@@ -21,6 +22,11 @@ for the scenario described by the flags, and (for ``plan``)
 ``simulate --json FILE`` writes the full :class:`~repro.sim.SimResult`
 dict — per-step timings and link utilization included — for downstream
 tooling.
+
+All grid subcommands evaluate through :mod:`repro.engine`: set
+``REPRO_CACHE_DIR`` to persist theta values across runs (the second
+``figure1`` run of a CI job performs zero LP solves), and pick the
+execution backend with ``--parallel`` / ``--parallel-backend``.
 """
 
 from __future__ import annotations
@@ -33,10 +39,16 @@ from pathlib import Path
 
 from ..analysis.adaptivity import compare_policies
 from ..collectives.registry import available_collectives
+from ..engine import (
+    EXECUTION_BACKENDS,
+    activate_disk_cache,
+    available_throughput_backends,
+)
 from ..fabric.reconfiguration import (
     ConstantReconfigurationDelay,
     PerPortReconfigurationDelay,
 )
+from ..flows import default_cache
 from ..planner import Scenario, available_solvers, plan
 from ..sim import RATE_METHODS, simulate_plan, simulate_workload
 from ..units import Gbps, MiB, format_time, ns, us
@@ -68,16 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig1.add_argument("--n", type=int, default=None, help="override GPU count")
     fig1.add_argument("--csv", type=Path, default=None, help="CSV output directory")
-    fig1.add_argument(
-        "--parallel", type=int, default=None, help="planner worker threads"
-    )
+    _add_parallel_flags(fig1)
 
     fig2 = sub.add_parser("figure2", help="the Figure 2 best-of-both heatmap")
     fig2.add_argument("--n", type=int, default=None, help="override GPU count")
     fig2.add_argument("--csv", type=Path, default=None, help="CSV output directory")
-    fig2.add_argument(
-        "--parallel", type=int, default=None, help="planner worker threads"
-    )
+    _add_parallel_flags(fig2)
 
     plan_cmd = sub.add_parser(
         "plan", help="plan one scenario with a registered solver"
@@ -168,6 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the full traces x policies workload grid instead "
         "(covers every trace and policy; --trace/--policy do not apply)",
     )
+    _add_parallel_flags(workload_cmd)
     workload_cmd.add_argument(
         "--json",
         type=Path,
@@ -181,6 +190,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list available collectives, solvers, policies, and traces",
     )
     return parser
+
+
+def _add_parallel_flags(command: argparse.ArgumentParser) -> None:
+    """The execution-backend flags of the grid-shaped subcommands."""
+    command.add_argument(
+        "--parallel", type=int, default=None, help="evaluation worker count"
+    )
+    command.add_argument(
+        "--parallel-backend",
+        default=None,
+        choices=EXECUTION_BACKENDS,
+        help="execution backend for the grid (default: serial, or "
+        "threads when --parallel > 1)",
+    )
 
 
 def _add_scenario_flags(command: argparse.ArgumentParser) -> None:
@@ -337,6 +360,15 @@ def _run_workload(args: argparse.Namespace) -> int:
     if args.dump_scenario:
         print(json.dumps(base.to_dict(), indent=2))
         return 0
+    if not args.grid and (
+        args.parallel is not None or args.parallel_backend is not None
+    ):
+        # A single workload is one sequential phase chain; pretending
+        # to parallelize it would silently run serially.
+        raise SystemExit(
+            "--parallel/--parallel-backend apply to the workload "
+            "subcommand only together with --grid"
+        )
     model = _workload_model(args)
 
     if args.grid:
@@ -346,6 +378,8 @@ def _run_workload(args: argparse.Namespace) -> int:
             solver=args.solver,
             threshold=args.threshold,
             base=base,
+            parallel=args.parallel,
+            parallel_backend=args.parallel_backend,
         )
         print(workload_grid_report(cells))
         if args.json is not None:
@@ -424,12 +458,21 @@ def _run_workload(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    # Opt-in persistent theta tier: with REPRO_CACHE_DIR set, every
+    # subcommand reads and feeds the shared on-disk store, so repeated
+    # runs (and CI jobs) pay zero LP solves after the first.
+    store = activate_disk_cache()
+    if store is not None:
+        print(f"disk cache: {store.directory} ({len(store)} entries)")
     if args.command == "list":
         print("collectives:")
         for name in available_collectives():
             print(f"  {name}")
         print("solvers:")
         for name in available_solvers():
+            print(f"  {name}")
+        print("throughput backends:")
+        for name in available_throughput_backends():
             print(f"  {name}")
         print("workload policies:")
         for name in available_policies():
@@ -453,9 +496,20 @@ def main(argv: list[str] | None = None) -> int:
         config = replace(config, n=args.n)
 
     if args.command == "figure1":
-        results = run_figure1(config, panels=args.panel, parallel=args.parallel)
+        results = run_figure1(
+            config,
+            panels=args.panel,
+            parallel=args.parallel,
+            parallel_backend=args.parallel_backend,
+        )
     else:
-        results = [run_figure2(config, parallel=args.parallel)]
+        results = [
+            run_figure2(
+                config,
+                parallel=args.parallel,
+                parallel_backend=args.parallel_backend,
+            )
+        ]
 
     for result in results:
         print(panel_report(result))
@@ -465,6 +519,13 @@ def main(argv: list[str] | None = None) -> int:
                 result, args.csv / f"figure_{result.spec.panel}.csv"
             )
             print(f"wrote {path}")
+    stats = default_cache.stats()
+    # "misses" counts theta values actually computed in this process;
+    # the CI cache-roundtrip job asserts misses=0 on a warm disk cache.
+    print(
+        f"theta cache: hits={stats.hits} misses={stats.misses} "
+        f"disk_hits={stats.disk_hits} size={stats.size}"
+    )
     return 0
 
 

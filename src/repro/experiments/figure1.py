@@ -6,13 +6,16 @@ speedup over the static ring.  Panels vary the algorithm (recursive
 halving/doubling, Swing, All-to-All) and the per-step latency ``alpha``
 (100 ns or 10 us).
 
-Each panel is one batched :func:`repro.planner.plan_many` call: the
+Each panel is one batched :func:`repro.engine.plan_many` call: the
 (message size x alpha_r) grid expands into declarative
 :class:`~repro.planner.Scenario` cells, every cell is planned with the
 ``dp``, ``static``, and ``bvn`` solvers, and the results are folded
 back into the :class:`~repro.analysis.speedup.SpeedupGrid` the
-renderers consume.  All cells share one thread-safe theta cache, so a
-panel still costs only a handful of LP solves.
+renderers consume.  All cells share one thread-safe two-tier theta
+cache, so a panel still costs only a handful of LP solves — zero, when
+``REPRO_CACHE_DIR`` points at a warm on-disk store.  ``parallel`` /
+``parallel_backend`` select the engine's execution backend (thread or
+process workers).
 """
 
 from __future__ import annotations
@@ -23,9 +26,10 @@ import numpy as np
 
 from ..analysis.regimes import RegimeCensus, census
 from ..analysis.speedup import SpeedupGrid
+from ..engine import plan_many
 from ..exceptions import ConfigurationError
 from ..flows import ThroughputCache, default_cache
-from ..planner import PlanRequest, Scenario, plan_many, scenario_grid
+from ..planner import PlanRequest, Scenario, scenario_grid
 from .config import FIGURE1_PANELS, PanelSpec, PaperConfig, PAPER_CONFIG
 
 __all__ = [
@@ -87,10 +91,12 @@ def run_panel(
     config: PaperConfig = PAPER_CONFIG,
     cache: ThroughputCache | None = default_cache,
     parallel: int | None = None,
+    parallel_backend: str | None = None,
 ) -> PanelResult:
     """Evaluate one panel's full (alpha_r x message size) grid.
 
-    ``parallel`` is forwarded to :func:`repro.planner.plan_many`.
+    ``parallel`` / ``parallel_backend`` are forwarded to
+    :func:`repro.engine.plan_many`.
     """
     cells = scenario_grid(
         panel_scenario(spec, config), config.message_sizes, config.alpha_rs
@@ -100,7 +106,9 @@ def run_panel(
         for cell in cells
         for solver in _PANEL_SOLVERS
     ]
-    results = plan_many(requests, parallel=parallel, cache=cache)
+    results = plan_many(
+        requests, parallel=parallel, parallel_backend=parallel_backend, cache=cache
+    )
 
     shape = (len(config.message_sizes), len(config.alpha_rs))
     surfaces = {
@@ -132,6 +140,7 @@ def run_figure1(
     panels: str | None = None,
     cache: ThroughputCache | None = default_cache,
     parallel: int | None = None,
+    parallel_backend: str | None = None,
 ) -> list[PanelResult]:
     """Evaluate all (or selected) Figure 1 panels.
 
@@ -144,6 +153,12 @@ def run_figure1(
         else tuple(panel_by_id(p) for p in panels)
     )
     return [
-        run_panel(spec, config=config, cache=cache, parallel=parallel)
+        run_panel(
+            spec,
+            config=config,
+            cache=cache,
+            parallel=parallel,
+            parallel_backend=parallel_backend,
+        )
         for spec in selected
     ]

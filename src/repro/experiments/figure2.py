@@ -6,9 +6,10 @@ concentrated in a diagonal transitional band of the
 (reconfiguration delay, message size) plane — the regime where neither
 always-reconfigure nor always-static suffices.
 
-Like Figure 1, the grid is evaluated through the unified planner
-(:func:`repro.planner.plan_many` under :func:`run_panel`); pass
-``parallel`` to spread the grid over worker threads.
+Like Figure 1, the grid is evaluated through the unified evaluation
+engine (:func:`repro.engine.plan_many` under :func:`run_panel`); pass
+``parallel`` / ``parallel_backend`` to spread the grid over thread or
+process workers.
 """
 
 from __future__ import annotations
@@ -24,6 +25,13 @@ def run_figure2(
     config: PaperConfig = PAPER_CONFIG,
     cache: ThroughputCache | None = default_cache,
     parallel: int | None = None,
+    parallel_backend: str | None = None,
 ) -> PanelResult:
     """Evaluate the Figure 2 grid (speedup vs min(static, BvN))."""
-    return run_panel(FIGURE2_PANEL, config=config, cache=cache, parallel=parallel)
+    return run_panel(
+        FIGURE2_PANEL,
+        config=config,
+        cache=cache,
+        parallel=parallel,
+        parallel_backend=parallel_backend,
+    )

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Callable, Sequence
 
-from ..analysis.adaptivity import DEFAULT_POLICIES, compare_policies
+from ..analysis.adaptivity import DEFAULT_POLICIES
+from ..engine import plan_workload_many
 from ..exceptions import ConfigurationError
 from ..fabric.reconfiguration import ReconfigurationModel
 from ..flows import ThroughputCache, default_cache
@@ -127,6 +128,8 @@ def run_workload_grid(
     threshold: float = 0.0,
     base: "Scenario | None" = None,
     cache: "ThroughputCache | None" = default_cache,
+    parallel: "int | None" = None,
+    parallel_backend: "str | None" = None,
 ) -> list[WorkloadCell]:
     """Evaluate every (trace, policy) cell.
 
@@ -136,23 +139,40 @@ def run_workload_grid(
     ``base`` overrides the default paper-fabric base scenario (then
     ``config`` / ``message_size`` are not consulted; the traces
     override the collective per phase as usual).
+
+    The whole grid is one :func:`repro.engine.plan_workload_many`
+    batch; ``parallel`` / ``parallel_backend`` spread the cells over
+    the engine's thread or process workers.
     """
     if base is None:
         base = workload_base_scenario(config, message_size=message_size)
     evaluated = tuple(dict.fromkeys(("replan",) + tuple(policies)))
+    workloads = {name: build_trace(name, base, phases) for name in traces}
+    keys = [
+        (trace_name, policy) for trace_name in traces for policy in evaluated
+    ]
+    jobs = [
+        (
+            workloads[trace_name],
+            policy,
+            {"threshold": threshold} if policy == "hysteresis" else {},
+        )
+        for trace_name, policy in keys
+    ]
+    plans = plan_workload_many(
+        jobs,
+        solver=solver,
+        reconfiguration_model=reconfiguration_model,
+        parallel=parallel,
+        parallel_backend=parallel_backend,
+        cache=cache,
+    )
+    by_cell = dict(zip(keys, plans))
     cells: list[WorkloadCell] = []
     for trace_name in traces:
-        workload = build_trace(trace_name, base, phases)
-        comparison = compare_policies(
-            workload,
-            policies=evaluated,
-            solver=solver,
-            reconfiguration_model=reconfiguration_model,
-            threshold=threshold,
-            cache=cache,
-        )
+        anchor = by_cell[(trace_name, "replan")].total_time
         for policy in policies:
-            plan = comparison.plan(policy)
+            plan = by_cell[(trace_name, policy)]
             cells.append(
                 WorkloadCell(
                     trace=trace_name,
@@ -161,7 +181,11 @@ def run_workload_grid(
                     total_time=plan.total_time,
                     reconfiguration_time=plan.reconfiguration_time,
                     n_reconfigurations=plan.n_reconfigurations,
-                    speedup_vs_replan=comparison.speedup(policy),
+                    speedup_vs_replan=(
+                        float("inf")
+                        if plan.total_time == 0
+                        else anchor / plan.total_time
+                    ),
                     per_phase_times=plan.per_phase_times,
                 )
             )

@@ -17,7 +17,13 @@ from .bounds import (
     theta_upper_bound_flowhops,
     theta_upper_bound_ports,
 )
-from .cache import CacheStats, ThroughputCache, default_cache
+from .cache import (
+    CacheStats,
+    ThetaStore,
+    ThroughputCache,
+    default_cache,
+    theta_key_digest,
+)
 from .closed_forms import detect_uniform_shift, ring_shift_theta, try_closed_form_theta
 from .concurrent_flow import (
     Commodity,
@@ -56,8 +62,10 @@ __all__ = [
     "detect_uniform_shift",
     "try_closed_form_theta",
     "CacheStats",
+    "ThetaStore",
     "ThroughputCache",
     "default_cache",
+    "theta_key_digest",
 ]
 
 _METHODS = ("auto", "lp", "closed", "sp", "proxy")
@@ -125,4 +133,10 @@ def compute_theta(
 
     if cache is None:
         return evaluate()
-    return cache.get_or_compute(topology, matching, evaluate, tag=f"theta:{method}")
+    # The tag carries the reference rate: theta scales with
+    # capacity / reference_rate, so evaluations of one pattern under
+    # different normalizations must not share a cache entry (the tag
+    # also feeds the content-addressed disk digest).
+    return cache.get_or_compute(
+        topology, matching, evaluate, tag=f"theta:{method}@{reference_rate!r}"
+    )

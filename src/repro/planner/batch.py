@@ -1,28 +1,30 @@
 """Batched planning: many scenarios, one shared cache, N workers.
 
+.. note::
+   The implementation lives in the unified evaluation engine
+   (:func:`repro.engine.plan_many`); this module is a compatibility
+   shim kept so existing imports keep working.  New code should import
+   from :mod:`repro.engine`.
+
 ``plan_many`` turns the Figure 1 / Figure 2 grid sweeps — and any
 future service-style workload — into one call.  All requests share a
-single thread-safe :class:`~repro.flows.ThroughputCache`, so the
-handful of distinct (topology, pattern) theta computations is paid once
-no matter how many grid points reference them, and the per-request
-arithmetic parallelizes with :mod:`concurrent.futures` threads (the
-heavy lifting — scipy LP solves — releases the GIL inside BLAS/HiGHS).
+single thread-safe two-tier :class:`~repro.flows.ThroughputCache`, so
+the handful of distinct (topology, pattern) theta computations is paid
+once no matter how many grid points reference them — and, with
+``REPRO_CACHE_DIR`` set, once across *processes*.
 
 Results come back in input order regardless of worker count, and every
 individual plan is a pure function of its scenario, so parallel runs
-are bit-identical to serial ones.
+(thread or process) are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Iterable
 
-from ..exceptions import ConfigurationError
 from ..flows import ThroughputCache, default_cache
-from .registry import plan
 from .result import PlanRequest, PlanResult
-from .scenario import Scenario, _freeze_options
+from .scenario import Scenario
 
 __all__ = ["plan_many"]
 
@@ -32,41 +34,25 @@ def plan_many(
     solver: str = "dp",
     parallel: int | None = None,
     cache: ThroughputCache | None = default_cache,
+    parallel_backend: str | None = None,
+    theta_backend: str | None = None,
     **options,
 ) -> list[PlanResult]:
     """Plan a batch of scenarios, optionally in parallel.
 
-    Parameters
-    ----------
-    scenarios:
-        :class:`Scenario` items (planned with ``solver`` / ``options``)
-        and/or prepared :class:`PlanRequest` items (which carry their
-        own solver choice — mixed batches are fine).
-    solver:
-        Solver name applied to bare scenarios.
-    parallel:
-        Worker-thread count; ``None`` or ``1`` plans serially.
-    cache:
-        Shared theta memo.  The default module-level cache is shared
-        with everything else in the process; pass a fresh
-        :class:`~repro.flows.ThroughputCache` to isolate a batch, or
-        ``None`` to disable caching.
-
-    Returns
-    -------
-    list[PlanResult]
-        One result per input, in input order.
+    A shim over :func:`repro.engine.plan_many` — see that function for
+    the full parameter documentation (``parallel_backend`` selects the
+    serial / thread / process execution backend; ``theta_backend``
+    routes bare scenarios through a registered throughput backend).
     """
-    frozen = _freeze_options(options)
-    requests = [
-        item
-        if isinstance(item, PlanRequest)
-        else PlanRequest(scenario=item, solver=solver, options=frozen)
-        for item in scenarios
-    ]
-    if parallel is not None and parallel < 1:
-        raise ConfigurationError(f"parallel must be >= 1, got {parallel}")
-    if parallel is None or parallel == 1 or len(requests) <= 1:
-        return [plan(request, cache=cache) for request in requests]
-    with ThreadPoolExecutor(max_workers=parallel) as executor:
-        return list(executor.map(lambda r: plan(r, cache=cache), requests))
+    from ..engine.api import plan_many as _engine_plan_many
+
+    return _engine_plan_many(
+        scenarios,
+        solver=solver,
+        parallel=parallel,
+        cache=cache,
+        parallel_backend=parallel_backend,
+        theta_backend=theta_backend,
+        **options,
+    )

@@ -129,6 +129,8 @@ class PlanResult:
                 "hits": self.cache_stats.hits,
                 "misses": self.cache_stats.misses,
                 "size": self.cache_stats.size,
+                "disk_hits": self.cache_stats.disk_hits,
+                "evictions": self.cache_stats.evictions,
             }
         return out
 
@@ -193,6 +195,8 @@ class PlanResult:
                 hits=int(_require(stats_data, "hits", "cache_stats")),
                 misses=int(_require(stats_data, "misses", "cache_stats")),
                 size=int(_require(stats_data, "size", "cache_stats")),
+                disk_hits=int(stats_data.get("disk_hits", 0)),
+                evictions=int(stats_data.get("evictions", 0)),
             )
         return cls(
             request=request,

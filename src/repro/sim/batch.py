@@ -1,26 +1,32 @@
 """Batched simulation: many scenarios, one shared cache, N workers.
 
+.. note::
+   The implementation lives in the unified evaluation engine
+   (:func:`repro.engine.sim_many`); this module is a compatibility
+   shim kept so existing imports keep working.  New code should import
+   from :mod:`repro.engine`.
+
 ``sim_many`` is the simulation twin of :func:`repro.planner.plan_many`:
 it plans (when given bare scenarios) and executes a whole batch on the
-flow-level simulator, sharing one thread-safe
+flow-level simulator, sharing one thread-safe two-tier
 :class:`~repro.flows.ThroughputCache` so the distinct (topology,
 pattern) theta computations are paid once across the batch, and
-spreading the per-item work over :mod:`concurrent.futures` threads.
+spreading the per-item work over thread or process workers.
 
 Every individual simulation is a pure function of its item and the
-simulator knobs, and results come back in input order, so parallel runs
-are bit-identical to serial ones — the test suite pins that invariant.
+simulator knobs, and results come back in input order, so parallel
+runs are bit-identical to serial ones — the test suite pins that
+invariant.  (Process-backend results round-trip through their dict
+forms, so the per-event ``trace`` comes back empty.)
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Iterable
 
-from ..exceptions import ConfigurationError
 from ..flows import ThroughputCache, default_cache
 from ..planner import PlanResult, Scenario
-from .executor import SimResult, simulate_plan
+from .executor import SimResult
 
 __all__ = ["sim_many"]
 
@@ -35,65 +41,27 @@ def sim_many(
     compute_overlap: bool = False,
     collect_utilization: bool = False,
     check_model: bool = True,
+    parallel_backend: str | None = None,
     **options,
 ) -> list[SimResult]:
     """Simulate a batch of planned collectives, optionally in parallel.
 
-    Parameters
-    ----------
-    items:
-        :class:`~repro.planner.Scenario` items (planned with ``solver``
-        / ``options`` first) and/or prepared
-        :class:`~repro.planner.PlanResult` items, mixed freely.
-    solver:
-        Solver name applied to bare scenarios.
-    parallel:
-        Worker-thread count; ``None`` or ``1`` simulates serially.
-    cache:
-        Shared theta memo.  Pass a fresh
-        :class:`~repro.flows.ThroughputCache` to isolate a batch, or
-        ``None`` to disable caching.
-    rate_method, accounting, compute_overlap, check_model:
-        Forwarded to :func:`~repro.sim.simulate_plan` for every item.
-    collect_utilization:
-        Off by default for batches — per-link accounting under ``mcf``
-        costs an extra LP solve per distinct base pattern.
-    options:
-        Solver-specific options applied to bare scenarios.
-
-    Returns
-    -------
-    list[SimResult]
-        One result per input, in input order.
+    A shim over :func:`repro.engine.sim_many` — see that function for
+    the full parameter documentation (``parallel_backend`` selects the
+    serial / thread / process execution backend).
     """
-    items = list(items)
-    if parallel is not None and parallel < 1:
-        raise ConfigurationError(f"parallel must be >= 1, got {parallel}")
+    from ..engine.api import sim_many as _engine_sim_many
 
-    def run_one(item: Scenario | PlanResult) -> SimResult:
-        if isinstance(item, PlanResult):
-            return simulate_plan(
-                item,
-                rate_method=rate_method,
-                accounting=accounting,
-                compute_overlap=compute_overlap,
-                collect_utilization=collect_utilization,
-                check_model=check_model,
-                cache=cache,
-            )
-        return simulate_plan(
-            item,
-            solver=solver,
-            rate_method=rate_method,
-            accounting=accounting,
-            compute_overlap=compute_overlap,
-            collect_utilization=collect_utilization,
-            check_model=check_model,
-            cache=cache,
-            **options,
-        )
-
-    if parallel is None or parallel == 1 or len(items) <= 1:
-        return [run_one(item) for item in items]
-    with ThreadPoolExecutor(max_workers=parallel) as executor:
-        return list(executor.map(run_one, items))
+    return _engine_sim_many(
+        items,
+        solver=solver,
+        parallel=parallel,
+        cache=cache,
+        rate_method=rate_method,
+        accounting=accounting,
+        compute_overlap=compute_overlap,
+        collect_utilization=collect_utilization,
+        check_model=check_model,
+        parallel_backend=parallel_backend,
+        **options,
+    )

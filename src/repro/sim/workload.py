@@ -16,13 +16,14 @@ model check.
 :func:`workload_many` batches whole workload sweeps, mirroring
 :func:`~repro.planner.plan_many` / :func:`~repro.sim.sim_many`:
 one shared thread-safe theta cache, results in input order, parallel
-bit-identical to serial.
+bit-identical to serial.  It is a shim over the unified evaluation
+engine (:func:`repro.engine.workload_many`), which adds the process
+execution backend and the persistent disk cache tier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Iterable, Mapping
 
 from .._validation import require_field as _require
@@ -381,46 +382,32 @@ def workload_many(
     reconfiguration_model: ReconfigurationModel | None = None,
     collect_utilization: bool = False,
     check_model: bool = True,
+    parallel_backend: "str | None" = None,
     **options,
 ) -> list[WorkloadSimResult]:
     """Plan and execute a batch of workloads, optionally in parallel.
 
-    The workload twin of :func:`~repro.planner.plan_many` and
-    :func:`~repro.sim.sim_many`: bare :class:`~repro.workload.Workload`
-    items are planned with ``policy`` / ``solver`` /
-    ``reconfiguration_model`` first, prepared
+    A shim over :func:`repro.engine.workload_many` — see that function
+    for the full parameter documentation.  The workload twin of
+    :func:`~repro.planner.plan_many` and :func:`~repro.sim.sim_many`:
+    bare :class:`~repro.workload.Workload` items are planned with
+    ``policy`` / ``solver`` / ``reconfiguration_model`` first, prepared
     :class:`~repro.workload.WorkloadPlan` items are executed as-is, and
-    mixed batches are fine.  All items share one thread-safe theta
-    cache; results come back in input order, and every item is a pure
-    function of its inputs, so parallel runs are bit-identical to
-    serial ones.
+    mixed batches are fine.  Results come back in input order and are
+    bit-identical across execution backends.
     """
-    items = list(items)
-    if parallel is not None and parallel < 1:
-        raise SimulationError(f"parallel must be >= 1, got {parallel}")
+    from ..engine.api import workload_many as _engine_workload_many
 
-    def run_one(item: Workload | WorkloadPlan) -> WorkloadSimResult:
-        if isinstance(item, WorkloadPlan):
-            return simulate_workload(
-                item,
-                rate_method=rate_method,
-                collect_utilization=collect_utilization,
-                check_model=check_model,
-                cache=cache,
-            )
-        return simulate_workload(
-            item,
-            policy=policy,
-            solver=solver,
-            rate_method=rate_method,
-            reconfiguration_model=reconfiguration_model,
-            collect_utilization=collect_utilization,
-            check_model=check_model,
-            cache=cache,
-            **options,
-        )
-
-    if parallel is None or parallel == 1 or len(items) <= 1:
-        return [run_one(item) for item in items]
-    with ThreadPoolExecutor(max_workers=parallel) as executor:
-        return list(executor.map(run_one, items))
+    return _engine_workload_many(
+        items,
+        policy=policy,
+        solver=solver,
+        parallel=parallel,
+        cache=cache,
+        rate_method=rate_method,
+        reconfiguration_model=reconfiguration_model,
+        collect_utilization=collect_utilization,
+        check_model=check_model,
+        parallel_backend=parallel_backend,
+        **options,
+    )

@@ -1,0 +1,245 @@
+"""The two-tier cache: on-disk store, LRU bound, delta merging
+(satellites of the unified evaluation engine PR).
+
+Covers the content-addressed :class:`~repro.engine.DiskStore` (JSONL
+round-trips, concurrent-writer visibility, torn-line tolerance), the
+``REPRO_CACHE_DIR`` activation path, the ``maxsize`` LRU bound with
+eviction accounting, and the worker-delta merge protocol the process
+execution backend rides on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.engine import (
+    DiskStore,
+    activate_disk_cache,
+    resolve_cache_dir,
+)
+from repro.exceptions import ConfigurationError
+from repro.flows import ThroughputCache, default_cache, theta_key_digest
+from repro.matching import Matching
+from repro.topology import ring
+from repro.units import Gbps
+
+B = Gbps(800)
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.save("abc", 0.125)
+        assert store.load("abc") == 0.125
+        assert store.load("missing") is None
+        assert len(store) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        DiskStore(tmp_path).save("k1", 2.5)
+        fresh = DiskStore(tmp_path)
+        assert fresh.load("k1") == 2.5
+
+    def test_infinity_round_trips(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.save("inf", math.inf)
+        assert DiskStore(tmp_path).load("inf") == math.inf
+
+    def test_concurrent_writer_visibility(self, tmp_path):
+        """A reader picks up another process' (here: instance's) appends
+        through the incremental tail-read on miss."""
+        reader = DiskStore(tmp_path)
+        writer = DiskStore(tmp_path)
+        assert reader.load("late") is None
+        writer.save("late", 7.0)
+        assert reader.load("late") == 7.0
+
+    def test_last_write_wins_and_dedup(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.save("k", 1.0)
+        store.save("k", 1.0)  # deduplicated: no second line
+        assert len(store.path.read_text().splitlines()) == 1
+        store.save("k", 2.0)
+        assert DiskStore(tmp_path).load("k") == 2.0
+
+    def test_torn_and_garbage_lines_are_skipped(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.save("good", 1.5)
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"unrelated": True}) + "\n")
+            fh.write('{"k": "torn", "v": 9')  # no trailing newline
+        fresh = DiskStore(tmp_path)
+        assert fresh.load("good") == 1.5
+        assert fresh.load("torn") is None
+
+    def test_threaded_writers(self, tmp_path):
+        store = DiskStore(tmp_path)
+
+        def write(base):
+            for i in range(20):
+                store.save(f"{base}-{i}", float(i))
+
+        threads = [
+            threading.Thread(target=write, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        fresh = DiskStore(tmp_path)
+        assert len(fresh) == 80
+
+
+class TestEnvironmentActivation:
+    def test_resolve_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache_dir() == tmp_path
+
+    def test_activation_is_opt_in_and_idempotent(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        cache = ThroughputCache()
+        assert activate_disk_cache(cache=cache) is None
+        assert cache.store is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "theta"))
+        store = activate_disk_cache(cache=cache)
+        assert store is not None and cache.store is store
+        assert activate_disk_cache(cache=cache) is store  # reused, not rebuilt
+
+    def test_default_cache_never_mutated_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        before = default_cache.store
+        assert activate_disk_cache() is None
+        assert default_cache.store is before
+
+
+class TestTwoTierCache:
+    def _compute_counter(self):
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return 0.5
+
+        return calls, compute
+
+    def test_fresh_compute_feeds_store(self, tmp_path):
+        store = DiskStore(tmp_path)
+        cache = ThroughputCache(store=store)
+        topology = ring(8, B)
+        matching = Matching.shift(8, 1)
+        calls, compute = self._compute_counter()
+        assert cache.get_or_compute(topology, matching, compute) == 0.5
+        assert calls["n"] == 1
+        digest = theta_key_digest((topology.fingerprint(), matching, "theta"))
+        assert store.load(digest) == 0.5
+        assert cache.stats().misses == 1
+
+    def test_cold_cache_warm_store_computes_nothing(self, tmp_path):
+        topology = ring(8, B)
+        matchings = [Matching.shift(8, k) for k in (1, 2, 3)]
+        warm = ThroughputCache(store=DiskStore(tmp_path))
+        for m in matchings:
+            warm.get_or_compute(topology, m, lambda: 0.25)
+
+        cold = ThroughputCache(store=DiskStore(tmp_path))
+        calls, compute = self._compute_counter()
+        for m in matchings:
+            assert cold.get_or_compute(topology, m, compute) == 0.25
+        assert calls["n"] == 0
+        stats = cold.stats()
+        assert stats.misses == 0
+        assert stats.disk_hits == len(matchings)
+        assert stats.size == len(matchings)
+        # Promoted entries serve tier-1 hits from then on.
+        cold.get_or_compute(topology, matchings[0], compute)
+        assert cold.stats().hits == 1
+
+    def test_digest_is_stable_and_tag_sensitive(self):
+        topology = ring(8, B)
+        matching = Matching.shift(8, 1)
+        key = (topology.fingerprint(), matching, "theta:lp")
+        assert theta_key_digest(key) == theta_key_digest(key)
+        other = (topology.fingerprint(), matching, "theta:proxy")
+        assert theta_key_digest(key) != theta_key_digest(other)
+
+    def test_delta_tracking_and_merge(self):
+        topology = ring(8, B)
+        matching = Matching.shift(8, 2)
+        worker = ThroughputCache(track_delta=True)
+        worker.get_or_compute(topology, matching, lambda: 0.75)
+        delta = worker.drain_delta()
+        assert len(delta) == 1
+        assert worker.drain_delta() == []  # drained
+
+        parent = ThroughputCache()
+        parent.merge_delta(delta)
+        calls, compute = self._compute_counter()
+        assert parent.get_or_compute(topology, matching, compute) == 0.75
+        assert calls["n"] == 0
+        assert parent.stats().disk_hits == 1
+
+    def test_clear_keeps_tier2(self, tmp_path):
+        store = DiskStore(tmp_path)
+        cache = ThroughputCache(store=store)
+        topology = ring(8, B)
+        matching = Matching.shift(8, 1)
+        cache.get_or_compute(topology, matching, lambda: 0.5)
+        cache.clear()
+        assert len(cache) == 0
+        calls, compute = self._compute_counter()
+        assert cache.get_or_compute(topology, matching, compute) == 0.5
+        assert calls["n"] == 0  # served by the store, not recomputed
+        assert cache.stats().disk_hits == 1
+
+
+class TestLRUBound:
+    def test_maxsize_validation(self):
+        with pytest.raises(ConfigurationError, match="maxsize"):
+            ThroughputCache(maxsize=0)
+
+    def test_eviction_order_is_lru(self):
+        cache = ThroughputCache(maxsize=2)
+        topology = ring(8, B)
+        a, b, c = (Matching.shift(8, k) for k in (1, 2, 3))
+        cache.get_or_compute(topology, a, lambda: 1.0)
+        cache.get_or_compute(topology, b, lambda: 2.0)
+        cache.get_or_compute(topology, a, lambda: 1.0)  # refresh a
+        cache.get_or_compute(topology, c, lambda: 3.0)  # evicts b (LRU)
+        assert len(cache) == 2
+        calls = {"a": 0, "b": 0}
+        cache.get_or_compute(
+            topology, a, lambda: calls.__setitem__("a", 1) or 1.0
+        )
+        assert calls["a"] == 0  # a survived
+        cache.get_or_compute(
+            topology, b, lambda: calls.__setitem__("b", 1) or 2.0
+        )
+        assert calls["b"] == 1  # b was evicted and recomputed
+        stats = cache.stats()
+        assert stats.evictions == 2  # b once, then a or c for b's return
+        assert stats.size == 2
+
+    def test_unbounded_by_default(self):
+        cache = ThroughputCache()
+        topology = ring(16, B)
+        for k in range(1, 16):
+            cache.get_or_compute(topology, Matching.shift(16, k), lambda: 1.0)
+        stats = cache.stats()
+        assert stats.size == 15
+        assert stats.evictions == 0
+
+    def test_eviction_appears_in_stats_snapshot(self):
+        cache = ThroughputCache(maxsize=1)
+        topology = ring(8, B)
+        cache.get_or_compute(topology, Matching.shift(8, 1), lambda: 1.0)
+        cache.get_or_compute(topology, Matching.shift(8, 2), lambda: 2.0)
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.size == 1
+        assert stats.misses == 2

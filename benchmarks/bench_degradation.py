@@ -1,0 +1,95 @@
+"""Benchmark the fault & heterogeneity layer at paper scale.
+
+Degraded fabrics lose their closed-form theta fast paths — a dimmed or
+partially failed ring is no longer the uniform ring the formulas
+assume — so every distinct (condition, pattern) pair costs an exact LP
+solve.  These benches pin the price of that honesty at n=64:
+
+* theta on the pristine ring (closed form) vs the same pattern on a
+  one-failure ring (LP fallback);
+* the full degradation grid (conditions x solvers, planned + simulated)
+  through the engine's batch entry points;
+* planning a faulty 8-phase workload (outage windows carried per phase)
+  vs its healthy twin.
+
+The benches also assert the layer's core ordering: every degraded
+condition plans strictly slower than the pristine fabric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.degradation import (
+    degradation_base_scenario,
+    run_degradation_grid,
+)
+from repro.fabric import random_failures
+from repro.flows import ThroughputCache, compute_theta
+from repro.matching import Matching
+from repro.topology import ring
+from repro.units import Gbps
+from repro.workload import faulty, plan_workload, steady_trace
+
+N = 64
+
+
+def shift_matching(n: int, k: int) -> Matching:
+    return Matching(n, [(i, (i + k) % n) for i in range(n)])
+
+
+def test_theta_pristine_closed_form(benchmark):
+    topology = ring(N, Gbps(800))
+    matching = shift_matching(N, 1)
+    value = benchmark(
+        lambda: compute_theta(topology, matching, Gbps(800), cache=None)
+    )
+    assert value > 0
+
+
+def test_theta_degraded_lp(benchmark):
+    health = random_failures(N, seed=7, failures=1)
+    degraded = health.apply(ring(N, Gbps(800)))
+    matching = shift_matching(N, 1)
+    value = benchmark(
+        lambda: compute_theta(degraded, matching, Gbps(800), cache=None)
+    )
+    assert 0 < value < compute_theta(
+        ring(N, Gbps(800)), matching, Gbps(800), cache=None
+    )
+
+
+def test_degradation_grid(benchmark, bench_record):
+    config = PaperConfig()
+
+    def run():
+        return run_degradation_grid(config, cache=ThroughputCache())
+
+    cells = benchmark.pedantic(run, rounds=1)
+    pristine = next(
+        c for c in cells if c.condition == "pristine" and c.solver == "dp"
+    )
+    degraded = [c for c in cells if c.condition != "pristine"]
+    assert degraded and all(
+        c.planned_time > pristine.planned_time for c in degraded
+    )
+    bench_record(
+        sim_slowdowns={
+            f"{cell.condition}/{cell.solver}": cell.sim_slowdown
+            for cell in cells
+        }
+    )
+
+
+@pytest.mark.parametrize("condition", ["healthy", "faulty"])
+def test_plan_faulty_workload(benchmark, condition):
+    base = degradation_base_scenario(PaperConfig())
+    trace = steady_trace(base, 8)
+    if condition == "faulty":
+        trace = faulty(trace, mtbf=3, seed=11)
+    plan = benchmark.pedantic(
+        lambda: plan_workload(trace, policy="hysteresis", cache=ThroughputCache()),
+        rounds=1,
+    )
+    assert plan.total_time > 0

@@ -86,6 +86,13 @@ from .core import (
     static_cost,
 )
 from .exceptions import ReproError
+from .fabric import (
+    FabricHealth,
+    FaultEvent,
+    hotspot,
+    random_failures,
+    uniform_degradation,
+)
 from .flows import CacheStats, ThroughputCache, compute_theta, max_concurrent_flow
 from .planner import (
     CollectiveSpec,
@@ -111,6 +118,7 @@ from .workload import (
     Workload,
     WorkloadPlan,
     bursty_trace,
+    faulty,
     interleave,
     moe_trace,
     plan_workload,
@@ -158,6 +166,13 @@ __all__ = [
     "scenario_grid",
     "register_solver",
     "available_solvers",
+    # fault & heterogeneity modeling
+    "FabricHealth",
+    "FaultEvent",
+    "uniform_degradation",
+    "random_failures",
+    "hotspot",
+    "faulty",
     # frequently used names
     "ReproError",
     "Matching",

@@ -31,7 +31,13 @@ DEFAULT_POLICIES = ("replan", "hysteresis", "oracle")
 
 @dataclass(frozen=True)
 class PhaseRecord:
-    """One (policy, phase) cell of a workload comparison."""
+    """One (policy, phase) cell of a workload comparison.
+
+    ``degraded`` flags phases that ran under a non-pristine
+    :class:`~repro.fabric.FabricHealth` (a :func:`~repro.workload.faulty`
+    outage window), so reports can line up how each policy reacted to
+    the failure stretch.
+    """
 
     policy: str
     phase: int
@@ -41,6 +47,7 @@ class PhaseRecord:
     opening_delay: float
     n_reconfigurations: int
     speedup_vs_baseline: float
+    degraded: bool = False
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON / CSV friendly)."""
@@ -53,6 +60,7 @@ class PhaseRecord:
             "opening_delay": self.opening_delay,
             "n_reconfigurations": self.n_reconfigurations,
             "speedup_vs_baseline": self.speedup_vs_baseline,
+            "degraded": self.degraded,
         }
 
 
@@ -163,6 +171,7 @@ def compare_policies(
                         if phase.phase_time == 0
                         else ref_time / phase.phase_time
                     ),
+                    degraded=phase.plan.scenario.health is not None,
                 )
             )
     return PolicyComparison(

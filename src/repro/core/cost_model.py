@@ -103,6 +103,13 @@ class StepCost:
         delay models) can derive the circuit configuration a matched
         step establishes.  ``None`` for hand-built step costs that only
         exercise the constant-``alpha_r`` Eq. 7 accounting.
+    matched_rate_multiplier:
+        Rate fraction the step's *matched* circuits achieve on a
+        degraded fabric (the slowest pair's
+        :meth:`~repro.fabric.FabricHealth.pair_multiplier`); 1.0 on a
+        pristine fabric.  ``0.0`` marks a step whose matched option is
+        forbidden outright (the ``avoid`` solver plans around failed
+        ports this way).
     """
 
     volume: float
@@ -110,6 +117,7 @@ class StepCost:
     hops: float
     label: str = ""
     matching: Matching | None = None
+    matched_rate_multiplier: float = 1.0
 
     def base_cost(self, params: CostParameters) -> float:
         """DCT of this step when staying on the base topology (Eq. 3)."""
@@ -119,9 +127,18 @@ class StepCost:
         return params.alpha + params.delta * self.hops + congestion
 
     def matched_cost(self, params: CostParameters) -> float:
-        """DCT of this step on its matched topology: ``l = 1``,
-        ``theta = 1`` by construction (paper §3.3)."""
-        return params.alpha + params.delta + params.beta * self.volume
+        """DCT of this step on its matched topology: ``l = 1`` and, on a
+        pristine fabric, ``theta = 1`` by construction (paper §3.3).
+        On a degraded fabric the dedicated circuits run at
+        ``matched_rate_multiplier`` of the nominal rate."""
+        if self.matched_rate_multiplier <= 0.0:
+            return math.inf
+        congestion = (
+            0.0
+            if self.volume == 0.0
+            else params.beta * self.volume / self.matched_rate_multiplier
+        )
+        return params.alpha + params.delta + congestion
 
 
 def evaluate_step_costs(
@@ -131,11 +148,17 @@ def evaluate_step_costs(
     theta_method: str = "auto",
     path_rule: PathLengthRule = PathLengthRule.MAX_PAIR_HOPS,
     cache: ThroughputCache | None = default_cache,
+    health=None,
 ) -> tuple[StepCost, ...]:
     """Evaluate ``(m_i, theta_i, l_i)`` for every step of a collective.
 
     ``theta`` is normalized by ``params.bandwidth`` so that a dedicated
     full-rate circuit per pair scores exactly 1.
+
+    ``health`` (a :class:`~repro.fabric.FabricHealth`) prices the
+    *matched* side of each step on an imperfect fabric — the base side
+    is priced by ``topology``, which callers pass already degraded
+    (:meth:`FabricHealth.apply <repro.fabric.FabricHealth.apply>`).
     """
     if collective.n != topology.n_ranks:
         raise ScheduleError(
@@ -144,6 +167,9 @@ def evaluate_step_costs(
         )
     costs = []
     for step in collective.steps:
+        matched_multiplier = (
+            1.0 if health is None else health.matched_multiplier(step.matching)
+        )
         if len(step.matching) == 0:
             costs.append(
                 StepCost(
@@ -152,6 +178,7 @@ def evaluate_step_costs(
                     hops=0.0,
                     label=step.label,
                     matching=step.matching,
+                    matched_rate_multiplier=matched_multiplier,
                 )
             )
             continue
@@ -174,6 +201,7 @@ def evaluate_step_costs(
                 hops=hops,
                 label=step.label,
                 matching=step.matching,
+                matched_rate_multiplier=matched_multiplier,
             )
         )
     return tuple(costs)

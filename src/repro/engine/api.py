@@ -62,6 +62,9 @@ def _theta_affinity(scenario):
         scenario.theta_method,
         scenario.path_rule,
         scenario.multiport_radix,
+        # A degraded fabric has its own theta values: keep its cells in
+        # one process-pool chunk and out of pristine cells' chunks.
+        None if scenario.health is None else scenario.health.fingerprint(),
     )
 
 

@@ -8,6 +8,13 @@ from .config import (
     PaperConfig,
     small_config,
 )
+from .degradation import (
+    DegradationCell,
+    default_conditions,
+    degradation_base_scenario,
+    degradation_grid_report,
+    run_degradation_grid,
+)
 from .figure1 import PanelResult, panel_by_id, run_figure1, run_panel
 from .figure2 import run_figure2
 from .io import panel_report, write_panel_csv
@@ -42,4 +49,9 @@ __all__ = [
     "workload_base_scenario",
     "run_workload_grid",
     "workload_grid_report",
+    "DegradationCell",
+    "default_conditions",
+    "degradation_base_scenario",
+    "run_degradation_grid",
+    "degradation_grid_report",
 ]

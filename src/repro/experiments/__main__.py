@@ -12,6 +12,10 @@ Subcommands:
   multi-phase workload, plan it with an online policy (or compare all
   policies), execute it on the flow simulator, and report per-phase and
   end-to-end times; ``--grid`` runs the full traces x policies grid.
+* ``degradation [...]`` — the fabric-condition grid: plan and simulate
+  one collective under pristine/failed/dimmed/hotspot/lost-wavelength
+  fabrics with the ``dp`` and fault-avoiding ``avoid`` solvers, and
+  report slowdowns over the pristine fabric.
 * ``list``            — available collectives, solvers, policies, traces.
 
 The ``plan`` and ``simulate`` subcommands are config-driven:
@@ -54,6 +58,7 @@ from ..sim import RATE_METHODS, simulate_plan, simulate_workload
 from ..units import Gbps, MiB, format_time, ns, us
 from ..workload import available_policies
 from .config import PAPER_CONFIG
+from .degradation import degradation_grid_report, run_degradation_grid
 from .figure1 import run_figure1
 from .figure2 import run_figure2
 from .io import panel_report, write_panel_csv
@@ -183,6 +188,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the full WorkloadSimResult (or grid cells) to "
         "this JSON file",
+    )
+
+    degradation_cmd = sub.add_parser(
+        "degradation",
+        help="plan + simulate one collective under degraded fabric "
+        "conditions and report slowdowns vs the pristine fabric",
+    )
+    _add_scenario_flags(degradation_cmd)
+    # A high alpha_r keeps the optimal schedule on the (degradable) base
+    # ring, where fabric conditions actually bite.
+    degradation_cmd.set_defaults(
+        algorithm="allreduce_ring", message_mib=4.0, alpha_r_us=1000.0
+    )
+    degradation_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed for the random-failure condition",
+    )
+    _add_parallel_flags(degradation_cmd)
+    degradation_cmd.add_argument(
+        "--json",
+        type=Path,
+        nargs="?",
+        const=Path("-"),
+        default=None,
+        help="write the grid cells as JSON to FILE (or stdout when no "
+        "file is given)",
     )
 
     sub.add_parser(
@@ -455,6 +488,32 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_degradation(args: argparse.Namespace) -> int:
+    base = _plan_scenario(args)
+    if args.dump_scenario:
+        print(json.dumps(base.to_dict(), indent=2))
+        return 0
+    cells = run_degradation_grid(
+        base=base,
+        seed=args.seed,
+        parallel=args.parallel,
+        parallel_backend=args.parallel_backend,
+    )
+    print(
+        f"degradation grid: {base.collective.algorithm}, n={base.n}, "
+        f"alpha_r={format_time(base.cost.reconfiguration_delay)}"
+    )
+    print(degradation_grid_report(cells))
+    if args.json is not None:
+        payload = json.dumps([cell.to_dict() for cell in cells], indent=2)
+        if str(args.json) == "-":
+            print(payload)
+        else:
+            args.json.write_text(payload)
+            print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -490,6 +549,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "workload":
         return _run_workload(args)
+
+    if args.command == "degradation":
+        return _run_degradation(args)
 
     config = PAPER_CONFIG
     if args.n is not None:

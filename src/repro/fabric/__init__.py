@@ -1,5 +1,15 @@
-"""Photonic fabric models: switches, transceivers, reconfiguration delays."""
+"""Photonic fabric models: switches, transceivers, reconfiguration
+delays, and fault/heterogeneity conditions."""
 
+from .degradation import (
+    PRISTINE,
+    FabricHealth,
+    FaultEvent,
+    degraded_matched_topology,
+    hotspot,
+    random_failures,
+    uniform_degradation,
+)
 from .ocs import OpticalCircuitSwitch, SwitchStatistics
 from .reconfiguration import (
     ConstantReconfigurationDelay,
@@ -15,6 +25,13 @@ from .transceiver import Transceiver
 from .wavelength import WavelengthSwitchedFabric
 
 __all__ = [
+    "FabricHealth",
+    "PRISTINE",
+    "FaultEvent",
+    "uniform_degradation",
+    "random_failures",
+    "hotspot",
+    "degraded_matched_topology",
     "OpticalCircuitSwitch",
     "WavelengthSwitchedFabric",
     "SwitchStatistics",

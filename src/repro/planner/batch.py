@@ -1,21 +1,10 @@
-"""Batched planning: many scenarios, one shared cache, N workers.
+"""Compatibility shim: ``repro.planner.plan_many``.
 
-.. note::
-   The implementation lives in the unified evaluation engine
-   (:func:`repro.engine.plan_many`); this module is a compatibility
-   shim kept so existing imports keep working.  New code should import
-   from :mod:`repro.engine`.
-
-``plan_many`` turns the Figure 1 / Figure 2 grid sweeps — and any
-future service-style workload — into one call.  All requests share a
-single thread-safe two-tier :class:`~repro.flows.ThroughputCache`, so
-the handful of distinct (topology, pattern) theta computations is paid
-once no matter how many grid points reference them — and, with
-``REPRO_CACHE_DIR`` set, once across *processes*.
-
-Results come back in input order regardless of worker count, and every
-individual plan is a pure function of its scenario, so parallel runs
-(thread or process) are bit-identical to serial ones.
+The canonical implementation is :func:`repro.engine.plan_many` in
+:mod:`repro.engine.api` — batching semantics, caching tiers, execution
+backends, and parameter documentation all live there.  This module
+only keeps the historical ``from repro.planner import plan_many``
+import path working; new code should import from :mod:`repro.engine`.
 """
 
 from __future__ import annotations

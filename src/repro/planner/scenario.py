@@ -31,6 +31,7 @@ from ..core.multiport import (
     multiport_alltoall,
 )
 from ..exceptions import ConfigurationError
+from ..fabric.degradation import FabricHealth
 from ..flows import PathLengthRule, ThroughputCache, default_cache
 from ..topology import (
     Topology,
@@ -131,6 +132,23 @@ _TOPOLOGY_MEMO_LOCK = threading.Lock()
 _TOPOLOGY_MEMO_LIMIT = 256
 
 
+def _memoized_build(memo: dict, lock: threading.Lock, limit: int, key, build):
+    """Shared get-or-build for the topology memos: check under the
+    lock, build outside it (builders may be slow), publish with
+    ``setdefault`` so racing threads converge on one instance, and
+    FIFO-evict past ``limit``."""
+    with lock:
+        cached = memo.get(key)
+    if cached is not None:
+        return cached
+    value = build()
+    with lock:
+        kept = memo.setdefault(key, value)
+        while len(memo) > limit:
+            memo.pop(next(iter(memo)))
+        return kept
+
+
 @dataclass(frozen=True)
 class TopologySpec:
     """A named base-topology family plus its construction parameters.
@@ -168,22 +186,25 @@ class TopologySpec:
 
     def build(self) -> Topology:
         """Construct (or fetch the memoized) topology instance."""
-        with _TOPOLOGY_MEMO_LOCK:
-            cached = _TOPOLOGY_MEMO.get(self)
-        if cached is not None:
-            return cached
-        builder = _TOPOLOGY_FAMILIES[self.family]
-        try:
-            topology = builder(self.n, self.bandwidth, **_thaw_options(self.options))
-        except TypeError as exc:
-            raise ConfigurationError(
-                f"bad options for topology family {self.family!r}: {exc}"
-            ) from exc
-        with _TOPOLOGY_MEMO_LOCK:
-            kept = _TOPOLOGY_MEMO.setdefault(self, topology)
-            while len(_TOPOLOGY_MEMO) > _TOPOLOGY_MEMO_LIMIT:
-                _TOPOLOGY_MEMO.pop(next(iter(_TOPOLOGY_MEMO)))
-            return kept
+
+        def construct() -> Topology:
+            builder = _TOPOLOGY_FAMILIES[self.family]
+            try:
+                return builder(
+                    self.n, self.bandwidth, **_thaw_options(self.options)
+                )
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad options for topology family {self.family!r}: {exc}"
+                ) from exc
+
+        return _memoized_build(
+            _TOPOLOGY_MEMO,
+            _TOPOLOGY_MEMO_LOCK,
+            _TOPOLOGY_MEMO_LIMIT,
+            self,
+            construct,
+        )
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-serializable)."""
@@ -286,6 +307,13 @@ _STEP_COSTS_MEMO: "weakref.WeakKeyDictionary[ThroughputCache, dict]" = (
 _STEP_COSTS_MEMO_LOCK = threading.Lock()
 _STEP_COSTS_MEMO_LIMIT = 4096
 
+# One degraded Topology per (spec, health fingerprint): grid sweeps and
+# workload phases re-reference the same condition constantly, and a
+# shared instance shares its hop-distance cache, like _TOPOLOGY_MEMO.
+_DEGRADED_MEMO: dict[tuple, Topology] = {}
+_DEGRADED_MEMO_LOCK = threading.Lock()
+_DEGRADED_MEMO_LIMIT = 256
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -309,6 +337,15 @@ class Scenario:
         (paper §4 outlook) — only ``alltoall`` supports grouping.
     name:
         Optional label carried into reports.
+    health:
+        Optional :class:`~repro.fabric.FabricHealth` describing the
+        fabric's current condition (dimmed ports, failed transceiver
+        lanes, dead wavelengths).  ``None`` means pristine; a pristine
+        health object is normalized to ``None`` so the two spell one
+        scenario.  Theta, path lengths, and matched-circuit rates are
+        all priced on the degraded fabric, and the throughput cache
+        keys the degraded topology's own fingerprint — degraded and
+        pristine scenarios never share a theta entry.
     """
 
     topology: TopologySpec = field(default_factory=TopologySpec)
@@ -322,6 +359,7 @@ class Scenario:
     path_rule: PathLengthRule = PathLengthRule.MAX_PAIR_HOPS
     multiport_radix: int | None = None
     name: str = ""
+    health: FabricHealth | None = None
 
     def __post_init__(self) -> None:
         if self.theta_method not in _THETA_METHODS:
@@ -356,6 +394,30 @@ class Scenario:
                     "(its shift steps carry no data dependencies and may "
                     f"be grouped), got {self.collective.algorithm!r}"
                 )
+        if self.health is not None:
+            if isinstance(self.health, Mapping):
+                object.__setattr__(
+                    self, "health", FabricHealth.from_dict(self.health)
+                )
+            if not isinstance(self.health, FabricHealth):
+                raise ConfigurationError(
+                    f"health must be a FabricHealth (or its dict form), got "
+                    f"{type(self.health).__name__}"
+                )
+            if self.health.is_pristine:
+                # A pristine condition and no condition are the same
+                # scenario; normalize so they compare (and cache) equal.
+                object.__setattr__(self, "health", None)
+            else:
+                if self.multiport_radix is not None:
+                    raise ConfigurationError(
+                        "fabric health modeling supports single-port "
+                        "scenarios only (multiport_radix must be None)"
+                    )
+                try:
+                    self.health.validate_for(self.topology.n)
+                except Exception as exc:
+                    raise ConfigurationError(str(exc)) from exc
 
     # -- construction --------------------------------------------------------
 
@@ -377,6 +439,7 @@ class Scenario:
         path_rule: PathLengthRule | str = PathLengthRule.MAX_PAIR_HOPS,
         multiport_radix: int | None = None,
         name: str = "",
+        health: FabricHealth | None = None,
     ) -> "Scenario":
         """Build a scenario from flat arguments (the common case)."""
         return cls(
@@ -401,6 +464,7 @@ class Scenario:
             path_rule=path_rule,
             multiport_radix=multiport_radix,
             name=name,
+            health=health,
         )
 
     def replace(self, **kwargs) -> "Scenario":
@@ -461,8 +525,25 @@ class Scenario:
         return self.topology.n
 
     def build_topology(self) -> Topology:
-        """The base topology instance (memoized per spec)."""
-        return self.topology.build()
+        """The fabric this scenario actually runs on: the base topology
+        instance (memoized per spec), degraded by ``health`` when one is
+        set (memoized per (spec, health) so repeated references share
+        one instance and its hop cache)."""
+        base = self.topology.build()
+        if self.health is None:
+            return base
+        return _memoized_build(
+            _DEGRADED_MEMO,
+            _DEGRADED_MEMO_LOCK,
+            _DEGRADED_MEMO_LIMIT,
+            (self.topology, self.health.fingerprint()),
+            lambda: self.health.apply(base),
+        )
+
+    def pristine(self) -> "Scenario":
+        """The same scenario on a fault-free fabric (degradation-vs-
+        pristine comparisons start here)."""
+        return self.replace(health=None)
 
     def build_collective(self) -> Collective:
         """The collective instance for this domain."""
@@ -492,6 +573,9 @@ class Scenario:
             self.theta_method,
             self.path_rule,
             self.multiport_radix,
+            # Degraded and pristine fabrics price both sides of Eq. 3
+            # differently and must never share a step-cost evaluation.
+            None if self.health is None else self.health.fingerprint(),
         )
         with _STEP_COSTS_MEMO_LOCK:
             table = _STEP_COSTS_MEMO.get(cache)
@@ -545,6 +629,7 @@ class Scenario:
             theta_method=self.theta_method,
             path_rule=self.path_rule,
             cache=cache,
+            health=self.health,
         )
 
     # -- serialization -------------------------------------------------------
@@ -567,6 +652,8 @@ class Scenario:
             out["multiport_radix"] = self.multiport_radix
         if self.name:
             out["name"] = self.name
+        if self.health is not None:
+            out["health"] = self.health.to_dict()
         return out
 
     @classmethod
@@ -582,6 +669,7 @@ class Scenario:
                 "path_rule",
                 "multiport_radix",
                 "name",
+                "health",
             },
             "scenario",
         )
@@ -609,6 +697,11 @@ class Scenario:
             ),
             multiport_radix=None if radix is None else int(radix),
             name=str(data.get("name", "")),
+            health=(
+                None
+                if data.get("health") is None
+                else FabricHealth.from_dict(data["health"])
+            ),
         )
 
 

@@ -15,6 +15,9 @@ threshold  :func:`repro.core.heuristics.threshold_schedule`
 greedy     :func:`repro.core.heuristics.greedy_sequential_schedule`
 static     never reconfigure (baseline policy)
 bvn        reconfigure every step (baseline policy)
+avoid      the exact DP, but matched steps touching unhealthy ports
+           (failed transceiver lanes, ports dimmed below
+           ``min_health``) are forbidden — plan *around* the faults
 ========== ==========================================================
 
 The adapters are bit-faithful: for a given scenario they feed the
@@ -24,6 +27,7 @@ have assembled by hand, so schedules and totals are identical.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Mapping, Sequence
 
 from ..core.heuristics import greedy_sequential_schedule, threshold_schedule
@@ -59,6 +63,49 @@ def _solve_dp(request: PlanRequest, cache: ThroughputCache | None) -> PlanResult
     result = optimize_schedule(scenario.step_costs(cache=cache), scenario.cost)
     return PlanResult.from_schedule(
         request, result.schedule, result.cost, solver=request.solver
+    )
+
+
+def _solve_avoid(
+    request: PlanRequest, cache: ThroughputCache | None
+) -> PlanResult:
+    """The exact DP with matched steps on unhealthy ports forbidden.
+
+    A conservative operator does not schedule *new* circuits through
+    flaky hardware: for every step whose matching terminates at an
+    unhealthy rank (an endpoint of a failed transceiver lane, or a port
+    dimmed below ``min_health``, default 1.0 = any dimming), the
+    matched option is priced at infinity and the DP routes the step
+    over the base fabric instead.  On a pristine scenario this solver
+    is identical to ``dp``.
+    """
+    options = _options(request, ("min_health",))
+    min_health = float(options.get("min_health", 1.0))
+    if not 0.0 < min_health <= 1.0:
+        raise ConfigurationError(
+            f"min_health must be in (0, 1], got {min_health}"
+        )
+    scenario = request.scenario
+    step_costs = scenario.step_costs(cache=cache)
+    if scenario.health is not None:
+        unhealthy = scenario.health.unhealthy_ranks(min_health=min_health)
+        step_costs = tuple(
+            dataclasses.replace(cost, matched_rate_multiplier=0.0)
+            if cost.matching is not None
+            and any(
+                src in unhealthy or dst in unhealthy
+                for src, dst in cost.matching
+            )
+            else cost
+            for cost in step_costs
+        )
+    result = optimize_schedule(step_costs, scenario.cost)
+    return PlanResult.from_schedule(
+        request,
+        result.schedule,
+        result.cost,
+        solver=request.solver,
+        metadata={"min_health": min_health},
     )
 
 
@@ -151,6 +198,14 @@ def _solve_pool(request: PlanRequest, cache: ThroughputCache | None) -> PlanResu
             "the pool solver supports single-port scenarios only "
             "(multiport_radix must be None)"
         )
+    if scenario.health is not None:
+        # The pool DP prices candidate standing topologies built from
+        # their pristine specs; silently ignoring the fabric condition
+        # would report pristine numbers for a degraded fabric.
+        raise ConfigurationError(
+            "the pool solver does not support degraded fabrics yet "
+            "(Scenario.health must be None)"
+        )
     pool_specs = _resolve_pool(request, options.get("pool"))
     pool = [spec.build() for spec in pool_specs]
     for spec in pool_specs:
@@ -192,6 +247,7 @@ def _solve_pool(request: PlanRequest, cache: ThroughputCache | None) -> PlanResu
 def register_builtin_solvers(overwrite: bool = False) -> None:
     """Install the built-in solver set into the registry."""
     register_solver("dp", _solve_dp, overwrite=overwrite)
+    register_solver("avoid", _solve_avoid, overwrite=overwrite)
     register_solver("ilp", _solve_ilp, overwrite=overwrite)
     register_solver("pool", _solve_pool, overwrite=overwrite)
     register_solver("overlap", _solve_overlap, overwrite=overwrite)

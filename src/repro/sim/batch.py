@@ -1,23 +1,10 @@
-"""Batched simulation: many scenarios, one shared cache, N workers.
+"""Compatibility shim: ``repro.sim.sim_many``.
 
-.. note::
-   The implementation lives in the unified evaluation engine
-   (:func:`repro.engine.sim_many`); this module is a compatibility
-   shim kept so existing imports keep working.  New code should import
-   from :mod:`repro.engine`.
-
-``sim_many`` is the simulation twin of :func:`repro.planner.plan_many`:
-it plans (when given bare scenarios) and executes a whole batch on the
-flow-level simulator, sharing one thread-safe two-tier
-:class:`~repro.flows.ThroughputCache` so the distinct (topology,
-pattern) theta computations are paid once across the batch, and
-spreading the per-item work over thread or process workers.
-
-Every individual simulation is a pure function of its item and the
-simulator knobs, and results come back in input order, so parallel
-runs are bit-identical to serial ones — the test suite pins that
-invariant.  (Process-backend results round-trip through their dict
-forms, so the per-event ``trace`` comes back empty.)
+The canonical implementation is :func:`repro.engine.sim_many` in
+:mod:`repro.engine.api` — batching semantics, caching tiers, execution
+backends, and parameter documentation all live there.  This module
+only keeps the historical ``from repro.sim import sim_many`` import
+path working; new code should import from :mod:`repro.engine`.
 """
 
 from __future__ import annotations

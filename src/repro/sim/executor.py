@@ -30,6 +30,7 @@ from collections.abc import Mapping
 from ..collectives.base import Collective
 from ..core.schedule import Decision, Schedule
 from ..exceptions import SimulationError
+from ..fabric.degradation import FaultEvent
 from ..fabric.reconfiguration import ReconfigurationModel
 from ..flows import (
     ThroughputCache,
@@ -154,6 +155,12 @@ class SimResult:
         link spent transmitting.  Matched steps run on dedicated
         circuits and do not load base links.  Empty when utilization
         collection was disabled.
+    fault_log:
+        Mid-run health changes the simulator applied: ``(time, kind,
+        label)`` rows, kind ``"inject"`` or ``"repair"``.  Empty for
+        fault-free runs.  When non-empty the plan did *not* see the
+        faults coming, so :attr:`slowdown` (measured over planned) is
+        the achieved-vs-planned degradation report.
     """
 
     plan: PlanResult
@@ -165,6 +172,7 @@ class SimResult:
     n_reconfigurations: int
     steps: tuple[SimStep, ...]
     link_utilization: tuple[tuple[tuple[object, object], float], ...] = ()
+    fault_log: tuple[tuple[float, str, str], ...] = ()
 
     # -- conveniences --------------------------------------------------------
 
@@ -200,6 +208,14 @@ class SimResult:
         """The busiest base link's utilization (0.0 if none collected)."""
         return max((value for _, value in self.link_utilization), default=0.0)
 
+    @property
+    def slowdown(self) -> float:
+        """Measured over planned completion time (>= 1.0 means the run
+        underperformed the plan — e.g. unplanned mid-run faults)."""
+        if self.analytic_time == 0:
+            return 1.0 if self.sim_time == 0 else math.inf
+        return self.sim_time / self.analytic_time
+
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
@@ -215,6 +231,9 @@ class SimResult:
             "steps": [step.to_dict() for step in self.steps],
             "link_utilization": [
                 [[u, v], value] for (u, v), value in self.link_utilization
+            ],
+            "fault_log": [
+                [time, kind, label] for time, kind, label in self.fault_log
             ],
         }
 
@@ -237,6 +256,10 @@ class SimResult:
             link_utilization=tuple(
                 ((edge[0], edge[1]), float(value))
                 for edge, value in data.get("link_utilization", ())
+            ),
+            fault_log=tuple(
+                (float(time), str(kind), str(label))
+                for time, kind, label in data.get("fault_log", ())
             ),
         )
 
@@ -336,6 +359,7 @@ def simulate_plan(
     collect_utilization: bool = True,
     check_model: bool = True,
     cache: ThroughputCache | None = default_cache,
+    faults: "tuple[FaultEvent, ...] | list[FaultEvent]" = (),
     **options,
 ) -> SimResult:
     """Execute a planned collective on the flow-level simulator.
@@ -370,6 +394,14 @@ def simulate_plan(
         the executor's correctness anchor.
     cache:
         Shared theta memo (also used when planning bare scenarios).
+    faults:
+        :class:`~repro.fabric.FaultEvent` schedule applied mid-run (the
+        plan does not see it coming): the fabric degrades or repairs at
+        step boundaries and the result's :attr:`SimResult.slowdown`
+        reports the achieved-vs-planned gap.  The model-equality anchor
+        is skipped (the divergence is the measurement), and link
+        utilization is not collected — it cannot be attributed to one
+        topology when capacities change mid-run.
     options:
         Solver-specific options for bare scenarios (e.g.
         ``compute_times`` for the overlap solver).
@@ -413,21 +445,32 @@ def simulate_plan(
             "simulator yet)"
         )
 
+    # The simulator receives the *intended* fabric plus its condition;
+    # flows run on the degraded instance it derives.  Utilization and
+    # step accounting below use the same degraded view.
     topology = scenario.build_topology()
     collective = scenario.build_collective()
     simulator = FlowLevelSimulator(
-        topology,
+        scenario.topology.build(),
         scenario.cost,
         rate_method=rate_method,
         accounting=accounting,
         reconfiguration_model=reconfiguration_model,
         cache=cache,
+        health=scenario.health,
+        live_topology=topology,
     )
     result = simulator.run(
-        collective, planned.schedule, compute_overlap=compute_overlap
+        collective,
+        planned.schedule,
+        compute_overlap=compute_overlap,
+        faults=tuple(faults),
     )
 
-    if check_model and _should_check_model(
+    # Gate the anchor on faults actually *applied*: an event scheduled
+    # past the run end leaves the run fault-free, and the invariant
+    # must still hold there.
+    if check_model and not result.fault_log and _should_check_model(
         planned, scenario, rate_method, accounting, compute_overlap
     ):
         gap = abs(result.total_time - planned.total_time)
@@ -458,7 +501,7 @@ def simulate_plan(
             scenario,
             rate_method,
         )
-        if collect_utilization
+        if collect_utilization and not result.fault_log
         else ()
     )
     return SimResult(
@@ -471,4 +514,5 @@ def simulate_plan(
         n_reconfigurations=result.n_reconfigurations,
         steps=steps,
         link_utilization=utilization,
+        fault_log=result.fault_log,
     )

@@ -34,6 +34,11 @@ from ..collectives.base import Collective
 from ..core.cost_model import CostParameters
 from ..core.schedule import Decision, Schedule
 from ..exceptions import SimulationError
+from ..fabric.degradation import (
+    FabricHealth,
+    FaultEvent,
+    degraded_matched_topology,
+)
 from ..fabric.reconfiguration import (
     Configuration,
     ConstantReconfigurationDelay,
@@ -80,6 +85,10 @@ class SimulationResult:
     the collective ends — the state a subsequent collective on the same
     fabric inherits.  Only tracked under ``"physical"`` accounting
     (``None`` for ``"paper"``, which never models explicit circuits).
+
+    ``fault_log`` records the mid-run health changes actually applied:
+    ``(time, kind, label)`` rows where kind is ``"inject"`` or
+    ``"repair"`` (empty when the run had no fault schedule).
     """
 
     total_time: float
@@ -88,6 +97,7 @@ class SimulationResult:
     reconfiguration_time: float
     n_reconfigurations: int
     final_configuration: Configuration | None = None
+    fault_log: tuple[tuple[float, str, str], ...] = ()
 
     @property
     def communication_time(self) -> float:
@@ -113,6 +123,14 @@ class FlowLevelSimulator:
     reconfiguration_model:
         Only for ``"physical"`` accounting; defaults to a constant
         ``params.reconfiguration_delay``.
+    health:
+        Optional :class:`~repro.fabric.FabricHealth` — the fabric's
+        standing condition.  ``topology`` is the *intended* base fabric;
+        flows run on ``health.apply(topology)`` and matched circuits at
+        multiplier-scaled rates.  Physical accounting tracks circuit
+        *identity* against the intended topology (a dark lane is still
+        a standing circuit — it just carries nothing), so analytic
+        reconfiguration charges stay comparable across health states.
     """
 
     def __init__(
@@ -123,6 +141,8 @@ class FlowLevelSimulator:
         accounting: str = "paper",
         reconfiguration_model: ReconfigurationModel | None = None,
         cache: ThroughputCache | None = default_cache,
+        health: FabricHealth | None = None,
+        live_topology: Topology | None = None,
     ):
         if accounting not in _ACCOUNTING_MODES:
             raise SimulationError(
@@ -138,6 +158,17 @@ class FlowLevelSimulator:
             else ConstantReconfigurationDelay(params.reconfiguration_delay)
         )
         self.cache = cache
+        if health is not None and health.is_pristine:
+            health = None
+        self.health = health
+        # `live_topology` lets callers hand in the degraded instance
+        # they already hold (Scenario.build_topology memoizes one per
+        # (spec, health), hop caches included) instead of re-deriving.
+        self._live_topology = (
+            live_topology
+            if live_topology is not None
+            else (topology if health is None else health.apply(topology))
+        )
         if accounting == "physical":
             try:
                 self._base_config: Configuration | None = configuration_from_topology(
@@ -152,9 +183,22 @@ class FlowLevelSimulator:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _step_flows(self, matching: Matching, decision: Decision):
+    def _step_flows(
+        self,
+        matching: Matching,
+        decision: Decision,
+        live_topology: Topology,
+        health: FabricHealth | None,
+    ):
         if decision is Decision.MATCHED:
-            circuit_topology = matched_topology(matching, self.params.bandwidth)
+            if health is not None:
+                circuit_topology = degraded_matched_topology(
+                    matching, self.params.bandwidth, health
+                )
+            else:
+                circuit_topology = matched_topology(
+                    matching, self.params.bandwidth
+                )
             return allocate_rates(
                 circuit_topology,
                 matching,
@@ -163,7 +207,7 @@ class FlowLevelSimulator:
                 cache=None,
             )
         return allocate_rates(
-            self.topology,
+            live_topology,
             matching,
             self.params.bandwidth,
             method=self.rate_method,
@@ -193,6 +237,7 @@ class FlowLevelSimulator:
         schedule: Schedule,
         compute_overlap: bool = False,
         initial_configuration: Configuration | None = None,
+        faults: "tuple[FaultEvent, ...] | list[FaultEvent]" = (),
     ) -> SimulationResult:
         """Simulate ``collective`` under ``schedule``.
 
@@ -205,6 +250,18 @@ class FlowLevelSimulator:
         accounting, where transitions are priced configuration to
         configuration; ``"paper"`` accounting rejects it rather than
         silently ignoring the carried state.
+
+        ``faults`` is a time-ordered schedule of
+        :class:`~repro.fabric.FaultEvent` health changes applied
+        *mid-run*: each event takes effect at the first step boundary
+        at or after its timestamp (a step in flight finishes at the
+        rates it committed to).  An injected condition is *composed*
+        with the simulator's standing ``health`` (a new fault never
+        silently repairs an old one); a later injection replaces any
+        previously injected overlay, and ``health=None`` repairs back
+        to the standing condition.  Applications are recorded as
+        ``FAULT_INJECT`` / ``FAULT_REPAIR`` trace events and in the
+        result's ``fault_log``.
         """
         if collective.num_steps != schedule.num_steps:
             raise SimulationError(
@@ -218,12 +275,39 @@ class FlowLevelSimulator:
                 "initial_configuration requires 'physical' accounting; "
                 "'paper' accounting has no explicit circuit state to seed"
             )
+        for event in faults:
+            if not isinstance(event, FaultEvent):
+                raise SimulationError(
+                    f"faults must be FaultEvent items, got "
+                    f"{type(event).__name__}"
+                )
+            if event.health is not None:
+                # A typo'd rank or lane must not be applied as a silent
+                # no-op (or a raw mid-run FabricError) while fault_log
+                # reports the fault as injected.
+                try:
+                    event.health.validate_for(self.topology.n_ranks)
+                except Exception as exc:
+                    raise SimulationError(
+                        f"fault at t={event.time}: {exc}"
+                    ) from exc
+                for u, v in event.health.failed_transceivers:
+                    if not self.topology.has_edge(u, v):
+                        raise SimulationError(
+                            f"fault at t={event.time}: failed transceiver "
+                            f"({u}, {v}) names no lane of topology "
+                            f"{self.topology.name!r}"
+                        )
+        pending = sorted(faults, key=lambda event: event.time)
 
         queue = EventQueue()
         trace = Trace()
         timings: list[StepTiming] = []
         reconf_total = 0.0
         n_reconf = 0
+        live_topology = self._live_topology
+        live_health = self.health
+        fault_log: list[tuple[float, str, str]] = []
 
         previous = Decision.BASE
         current_config = (
@@ -234,6 +318,27 @@ class FlowLevelSimulator:
         compute_until = 0.0  # when the previous step's compute finishes
 
         for index, step in enumerate(collective.steps):
+            while pending and pending[0].time <= queue.now + 1e-18:
+                event = pending.pop(0)
+                if event.health is None or event.health.is_pristine:
+                    live_health = self.health
+                    live_topology = self._live_topology
+                    kind, trace_kind = "repair", EventKind.FAULT_REPAIR
+                else:
+                    # An injected fault lands ON TOP of the standing
+                    # condition — it must never silently repair it.
+                    live_health = (
+                        self.health.compose(event.health)
+                        if self.health is not None
+                        else event.health
+                    )
+                    live_topology = live_health.apply(self.topology)
+                    kind, trace_kind = "inject", EventKind.FAULT_INJECT
+                label = event.label or (
+                    "" if event.health is None else event.health.name
+                )
+                trace.record(queue.now, trace_kind, index, detail=label)
+                fault_log.append((queue.now, kind, label))
             decision = schedule.decisions[index]
             if self.accounting == "physical":
                 if decision is Decision.MATCHED:
@@ -276,7 +381,9 @@ class FlowLevelSimulator:
             end = start
             slowest: tuple[int, int] | None = None
             if len(step.matching) > 0:
-                for flow in self._step_flows(step.matching, decision):
+                for flow in self._step_flows(
+                    step.matching, decision, live_topology, live_health
+                ):
                     completion = (
                         start
                         + (step.volume / flow.rate if step.volume > 0 else 0.0)
@@ -320,4 +427,5 @@ class FlowLevelSimulator:
             final_configuration=(
                 current_config if self.accounting == "physical" else None
             ),
+            fault_log=tuple(fault_log),
         )

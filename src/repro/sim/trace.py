@@ -24,6 +24,8 @@ class EventKind(enum.Enum):
     COLLECTIVE_END = "collective_end"
     PHASE_START = "phase_start"
     PHASE_END = "phase_end"
+    FAULT_INJECT = "fault_inject"
+    FAULT_REPAIR = "fault_repair"
 
 
 @dataclass(frozen=True)

@@ -295,6 +295,10 @@ def simulate_workload(
             accounting="physical",
             reconfiguration_model=planned.model,
             cache=cache,
+            # Per-phase fabric condition: a faulty() trace degrades some
+            # phases and repairs others, all on the one shared fabric.
+            health=scenario.health,
+            live_topology=scenario.build_topology(),
         )
         result = simulator.run(
             collective, schedule, initial_configuration=carried
@@ -332,7 +336,12 @@ def simulate_workload(
         )
         utilization = (
             _utilization(
-                topology, collective, schedule, result, scenario, rate_method
+                scenario.build_topology(),
+                collective,
+                schedule,
+                result,
+                scenario,
+                rate_method,
             )
             if collect_utilization
             else ()

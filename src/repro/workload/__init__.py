@@ -52,6 +52,7 @@ from .spec import Workload, interleave
 from .traces import (
     DEFAULT_TRAINING_CYCLE,
     bursty_trace,
+    faulty,
     moe_trace,
     steady_trace,
     training_loop_trace,
@@ -73,5 +74,6 @@ __all__ = [
     "bursty_trace",
     "training_loop_trace",
     "moe_trace",
+    "faulty",
     "DEFAULT_TRAINING_CYCLE",
 ]

@@ -16,6 +16,11 @@ pattern:
 * :func:`moe_trace` — Mixture-of-Experts layers alternating a dense
   allreduce with an expert-dispatch all-to-all.
 
+:func:`faulty` is a *transformer* rather than a generator: it takes any
+workload and overlays a failure/repair process on its phases — the
+fabric degrades for a stretch of phases, repairs, and degrades again —
+so the online policies can be compared on imperfect fabrics.
+
 Every generator is deterministic: the same arguments always expand to
 the same workload, which is what makes ``workload_many``'s
 parallel-equals-serial guarantee (and the golden fixtures) possible.
@@ -23,9 +28,11 @@ parallel-equals-serial guarantee (and the golden fixtures) possible.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Sequence
 
 from ..exceptions import WorkloadError
+from ..fabric.degradation import FabricHealth, random_failures
 from ..planner import Scenario
 from .spec import Workload
 
@@ -34,6 +41,7 @@ __all__ = [
     "bursty_trace",
     "training_loop_trace",
     "moe_trace",
+    "faulty",
 ]
 
 #: Default forward/backward/optimizer cycle of one training iteration:
@@ -165,3 +173,67 @@ def moe_trace(
             )
         )
     return Workload(phases=tuple(out), name=name)
+
+
+def faulty(
+    trace: Workload,
+    mtbf: float,
+    seed: int,
+    health: FabricHealth | None = None,
+    mttr: int = 2,
+    name: str = "",
+) -> Workload:
+    """Overlay a failure/repair process on an existing workload.
+
+    Walks the phases of ``trace`` with a deterministic RNG: while the
+    fabric is healthy, each phase boundary triggers a failure with
+    probability ``1 / mtbf`` (``mtbf`` = mean phases between failures);
+    a failure degrades the next ``mttr`` phases to ``health`` (default:
+    a fresh :func:`~repro.fabric.random_failures` pattern per outage,
+    derived from ``seed``) and then repairs.  Degraded phases carry the
+    condition in their :attr:`~repro.planner.Scenario.health` field and
+    a ``~`` name suffix, so every downstream layer — planning policies,
+    the phase-chained simulator, :func:`~repro.analysis.compare_policies`
+    — prices the outage without further plumbing.
+
+    Same ``(trace, mtbf, seed, ...)`` arguments, same workload.
+    """
+    if mtbf < 1:
+        raise WorkloadError(f"mtbf must be >= 1 phase, got {mtbf}")
+    mttr = int(mttr)  # outages last whole phases; a float would leave
+    if mttr < 1:      # outage_left stuck between 0 and 1 forever
+        raise WorkloadError(f"mttr must be >= 1 phase, got {mttr}")
+    rng = random.Random(int(seed))
+    n = trace.n
+    phases = []
+    outage_left = 0
+    outage_health: FabricHealth | None = None
+    for phase in trace.phases:
+        if outage_left == 0 and rng.random() < 1.0 / mtbf:
+            outage_left = mttr
+            outage_health = (
+                health
+                if health is not None
+                else random_failures(
+                    n, seed=rng.randrange(2**31), failures=1,
+                    dim_fraction=0.25,
+                )
+            )
+        if outage_left > 0:
+            assert outage_health is not None
+            # An outage lands ON TOP of whatever condition the phase
+            # already carries — a fault never repairs prior degradation.
+            effective = (
+                phase.health.compose(outage_health)
+                if phase.health is not None
+                else outage_health
+            )
+            phases.append(
+                phase.replace(health=effective, name=f"{phase.name}~")
+            )
+            outage_left -= 1
+        else:
+            phases.append(phase)
+    return Workload(
+        phases=tuple(phases), name=name or f"{trace.name}+faults(seed={seed})"
+    )

@@ -29,7 +29,8 @@ from repro.experiments import FIGURE2_PANEL, PAPER_CONFIG
 from repro.experiments.config import FIGURE1_PANELS
 from repro.experiments.figure1 import _PANEL_SOLVERS, panel_scenario
 from repro.flows import ThroughputCache
-from repro.planner import PlanRequest, plan_many, scenario_grid
+from repro.engine import plan_many
+from repro.planner import PlanRequest, scenario_grid
 
 
 def _grid():

@@ -1,0 +1,123 @@
+"""Benchmark planner-as-a-service: warm-cache latency and throughput.
+
+Measures what the resident daemon actually buys over invoke-per-call
+planning: after one cold pass fills the resident theta cache, every
+further request for a seen fingerprint is an O(cache lookup) round
+trip through the asyncio admission path.  Records into
+``benchmarks/results/BENCH_service.json`` (via ``--bench-json``):
+
+* ``warm_p50_ms`` / ``warm_p99_ms`` — in-process warm-cache request
+  latency quantiles, straight from the daemon's own per-kind
+  histograms;
+* ``warm_requests_per_s`` — sustained warm-cache request throughput
+  through the daemon (coalescing disabled by distinct ids is not
+  needed — sequential repeats never coalesce, so every request runs
+  the full admission + dispatch + respond path);
+* ``concurrent_requests_per_s`` — throughput with 50 concurrent
+  submitters over a small scenario pool, the coalescing-heavy regime;
+* ``cold_misses`` — theta values the cold pass actually solved, as the
+  scale reference for what the warm path avoids.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.planner import Scenario
+from repro.service import PlanBody, PlannerDaemon, ServiceRequest
+from repro.units import Gbps, KiB, MiB, ns, us
+
+#: Sequential warm repeats measured for the latency distribution.
+WARM_REQUESTS = 200
+#: Concurrent submitters in the coalescing-heavy throughput case.
+CONCURRENT = 50
+
+
+def _scenarios() -> list[Scenario]:
+    return [
+        Scenario.create(
+            "allreduce_ring",
+            n=n,
+            message_size=size,
+            bandwidth=Gbps(800),
+            alpha=ns(100),
+            delta=ns(100),
+            reconfiguration_delay=us(10),
+        )
+        for n in (8, 16)
+        for size in (KiB(64), MiB(1))
+    ]
+
+
+@pytest.mark.benchmark(group="service")
+def test_warm_cache_latency_and_throughput(benchmark, bench_record):
+    scenarios = _scenarios()
+
+    async def measure():
+        async with PlannerDaemon(batch_window_s=0.0) as daemon:
+            # Cold pass: fill the resident cache.
+            for scenario in scenarios:
+                response = await daemon.submit(
+                    ServiceRequest(body=PlanBody(scenario=scenario))
+                )
+                assert response.ok
+            cold_misses = daemon.metrics()["cache"]["misses"]
+
+            # Warm sequential pass: the latency distribution.
+            start = asyncio.get_running_loop().time()
+            for index in range(WARM_REQUESTS):
+                response = await daemon.submit(
+                    ServiceRequest(
+                        body=PlanBody(
+                            scenario=scenarios[index % len(scenarios)]
+                        )
+                    )
+                )
+                assert response.ok
+            warm_elapsed = asyncio.get_running_loop().time() - start
+
+            metrics = daemon.metrics()
+            assert metrics["cache"]["misses"] == cold_misses, (
+                "warm requests must not trigger new theta solves"
+            )
+            histogram = metrics["requests"]["plan"]
+
+            # Concurrent pass: the coalescing-heavy regime.
+            start = asyncio.get_running_loop().time()
+            responses = await asyncio.gather(
+                *(
+                    daemon.submit(
+                        ServiceRequest(
+                            body=PlanBody(
+                                scenario=scenarios[index % len(scenarios)]
+                            )
+                        )
+                    )
+                    for index in range(CONCURRENT)
+                )
+            )
+            concurrent_elapsed = (
+                asyncio.get_running_loop().time() - start
+            )
+            assert all(response.ok for response in responses)
+            coalesced = daemon.metrics()["coalesced"]
+
+            return {
+                "cold_misses": cold_misses,
+                "warm_p50_ms": histogram["p50_ms"],
+                "warm_p99_ms": histogram["p99_ms"],
+                "warm_requests_per_s": WARM_REQUESTS / warm_elapsed,
+                "concurrent_requests_per_s": (
+                    CONCURRENT / concurrent_elapsed
+                ),
+                "coalesced": coalesced,
+            }
+
+    summary = benchmark.pedantic(
+        lambda: asyncio.run(measure()), rounds=1, iterations=1
+    )
+    assert summary["cold_misses"] > 0
+    assert summary["warm_p99_ms"] >= summary["warm_p50_ms"] > 0
+    bench_record(**summary)

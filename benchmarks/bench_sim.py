@@ -9,7 +9,8 @@ from repro.collectives import make_collective
 from repro.core import CostParameters, Schedule
 from repro.matching import Matching
 from repro.planner import Scenario, scenario_grid
-from repro.sim import FlowLevelSimulator, allocate_rates, sim_many, simulate
+from repro.engine import sim_many
+from repro.sim import FlowLevelSimulator, allocate_rates, simulate
 from repro.topology import ring
 from repro.units import Gbps, KiB, MiB, ns, us
 

@@ -17,7 +17,8 @@ Run:  python examples/sim_in_the_loop.py
 
 from repro import Gbps, MiB, Scenario, plan
 from repro.planner import scenario_grid
-from repro.sim import sim_many, simulate_plan
+from repro.engine import sim_many
+from repro.sim import simulate_plan
 from repro.units import KiB, format_time, ns, us
 
 

@@ -32,7 +32,7 @@ remain available and are what the solver registry adapts.
 Subpackages: :mod:`repro.topology`, :mod:`repro.collectives`,
 :mod:`repro.flows`, :mod:`repro.bvn`, :mod:`repro.core`,
 :mod:`repro.fabric`, :mod:`repro.planner`, :mod:`repro.sim`,
-:mod:`repro.analysis`, :mod:`repro.experiments`.
+:mod:`repro.service`, :mod:`repro.analysis`, :mod:`repro.experiments`.
 """
 
 from . import (
@@ -45,20 +45,24 @@ from . import (
     fabric,
     flows,
     planner,
+    service,
     sim,
     topology,
     workload,
 )
+from ._version import detect_version as _detect_version
 from .engine import (
     DiskStore,
     ThetaEnvelope,
     activate_disk_cache,
     available_throughput_backends,
     compute_theta_backend,
+    plan_many,
     plan_workload_many,
     register_throughput_backend,
     sim_many,
     theta_envelope,
+    workload_many,
 )
 from .collectives import (
     Collective,
@@ -102,17 +106,21 @@ from .planner import (
     TopologySpec,
     available_solvers,
     plan,
-    plan_many,
     register_solver,
     scenario_grid,
 )
 from .matching import Matching
+from .service import (
+    PlannerDaemon,
+    ServiceClient,
+    ServiceRequest,
+    ServiceResponse,
+)
 from .sim import (
     FlowLevelSimulator,
     WorkloadSimResult,
     simulate,
     simulate_workload,
-    workload_many,
 )
 from .workload import (
     Workload,
@@ -128,7 +136,8 @@ from .workload import (
 from .topology import Topology, hypercube, ring, torus
 from .units import GB, GiB, Gbps, KiB, MB, MiB, Tbps, ms, ns, us
 
-__version__ = "0.1.0"
+#: Single-sourced from pyproject.toml — see :mod:`repro._version`.
+__version__ = _detect_version()
 
 __all__ = [
     "__version__",
@@ -141,10 +150,16 @@ __all__ = [
     "engine",
     "fabric",
     "planner",
+    "service",
     "sim",
     "workload",
     "analysis",
     "experiments",
+    # planner-as-a-service
+    "PlannerDaemon",
+    "ServiceClient",
+    "ServiceRequest",
+    "ServiceResponse",
     # the unified evaluation engine
     "sim_many",
     "plan_workload_many",

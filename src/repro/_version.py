@@ -1,0 +1,70 @@
+"""Single-source version resolution.
+
+The version of record lives in ``pyproject.toml`` (``[project] version``);
+:data:`repro.__version__` is resolved from it so the two can never
+disagree.  Resolution order:
+
+1. The repository's ``pyproject.toml``, when the package is imported
+   from a source checkout (the ``PYTHONPATH=src`` layout used by the
+   test suite and CI).  This wins over installed metadata so an editable
+   checkout never reports a stale previously-installed version.
+2. Installed distribution metadata (``importlib.metadata``), for the
+   wheel/sdist case where no ``pyproject.toml`` ships alongside the
+   package.
+3. ``"0+unknown"`` when neither source is available.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["detect_version"]
+
+_FALLBACK = "0+unknown"
+
+
+def _from_pyproject(path: Path) -> str | None:
+    """``[project] version`` from a pyproject file, or ``None``."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        import tomllib
+
+        project = tomllib.loads(text).get("project", {})
+        version = project.get("version")
+        return str(version) if version else None
+    except ImportError:  # pragma: no cover - python 3.10 has no tomllib
+        pass
+    except ValueError:
+        return None
+    in_project = False
+    for line in text.splitlines():  # pragma: no cover - 3.10 fallback
+        stripped = line.strip()
+        if stripped.startswith("["):
+            in_project = stripped == "[project]"
+            continue
+        if in_project:
+            match = re.match(r'version\s*=\s*"([^"]+)"', stripped)
+            if match:
+                return match.group(1)
+    return None  # pragma: no cover - 3.10 fallback
+
+
+def detect_version() -> str:
+    """The package version, single-sourced from ``pyproject.toml``."""
+    # src layout: src/repro/_version.py -> repo root two levels up.
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    version = _from_pyproject(pyproject)
+    if version is not None:
+        return version
+    try:
+        from importlib.metadata import PackageNotFoundError, version as dist_version
+
+        return dist_version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK
+    except Exception:  # pragma: no cover - metadata backend misbehaving
+        return _FALLBACK

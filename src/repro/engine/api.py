@@ -102,6 +102,7 @@ def plan_many(
     cache: "ThroughputCache | None" = default_cache,
     parallel_backend: str | None = None,
     theta_backend: str | None = None,
+    on_result=None,
     **options,
 ) -> list:
     """Plan a batch of scenarios, optionally in parallel.
@@ -134,6 +135,12 @@ def plan_many(
         through one registered throughput backend — e.g.
         ``"exact-lp"`` forces ground-truth LP solves for a validation
         sweep.
+    on_result:
+        Optional ``(index, result)`` callback fired once per item, in
+        input order, as soon as that item's result exists — the
+        incremental-delivery hook the service daemon uses to stream
+        long batches (see :func:`repro.engine.parallel.execute_batch`).
+        Every batch entry point in this module accepts it.
 
     Returns
     -------
@@ -171,6 +178,7 @@ def plan_many(
         parallel_backend=parallel_backend,
         parallel=parallel,
         cache=cache,
+        on_result=on_result,
         affinity=lambda request: _theta_affinity(request.scenario),
         error=ConfigurationError,
     )
@@ -187,6 +195,7 @@ def sim_many(
     collect_utilization: bool = False,
     check_model: bool = True,
     parallel_backend: str | None = None,
+    on_result=None,
     **options,
 ) -> list:
     """Simulate a batch of planned collectives, optionally in parallel.
@@ -242,6 +251,7 @@ def sim_many(
         parallel_backend=parallel_backend,
         parallel=parallel,
         cache=cache,
+        on_result=on_result,
         affinity=lambda item: _theta_affinity(
             item.scenario if isinstance(item, PlanResult) else item
         ),
@@ -260,6 +270,7 @@ def workload_many(
     collect_utilization: bool = False,
     check_model: bool = True,
     parallel_backend: str | None = None,
+    on_result=None,
     **options,
 ) -> list:
     """Plan and execute a batch of workloads, optionally in parallel.
@@ -321,6 +332,7 @@ def workload_many(
         parallel_backend=parallel_backend,
         parallel=parallel,
         cache=cache,
+        on_result=on_result,
         affinity=lambda item: _workload_affinity(
             item.workload if isinstance(item, WorkloadPlan) else item
         ),
@@ -336,6 +348,7 @@ def plan_workload_many(
     cache: "ThroughputCache | None" = default_cache,
     reconfiguration_model=None,
     parallel_backend: str | None = None,
+    on_result=None,
     **options,
 ) -> list:
     """Plan a batch of workloads (no execution), optionally in parallel.
@@ -398,6 +411,7 @@ def plan_workload_many(
         parallel_backend=parallel_backend,
         parallel=parallel,
         cache=cache,
+        on_result=on_result,
         affinity=lambda job: _workload_affinity(job[0]),
         error=ConfigurationError,
     )

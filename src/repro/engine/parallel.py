@@ -159,6 +159,7 @@ def execute_batch(
     cache,
     affinity: Callable | None = None,
     error: type[Exception] = ConfigurationError,
+    on_result: Callable | None = None,
 ) -> list:
     """Run a batch through the resolved execution backend.
 
@@ -169,6 +170,14 @@ def execute_batch(
     maps an item to its theta-reuse group key (see
     :func:`_affinity_chunks`); results always come back in input order
     regardless of the chunk schedule.
+
+    ``on_result(index, result)`` is the incremental-delivery hook: it is
+    invoked once per item, in input order, as soon as that item's result
+    is available — before later items finish — so a long batch can be
+    streamed (the :mod:`repro.service` daemon bridges it onto an asyncio
+    queue).  It runs on the coordinating thread; exceptions it raises
+    abort the batch.  Items an aborted batch never reached produce no
+    callback.
     """
     items = list(items)
     backend, workers = resolve_execution_backend(
@@ -177,16 +186,29 @@ def execute_batch(
     if not items:
         return []
     if backend == "serial":
-        return [run_one(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            result = run_one(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(run_one, items))
+            results = []
+            for index, result in enumerate(executor.map(run_one, items)):
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+            return results
 
     store_dir, store_filename, transient = _resolve_store_dir(cache)
     keys = None if affinity is None else [affinity(item) for item in items]
     chunks = _affinity_chunks(len(items), keys, workers)
     results: list = [None] * len(items)
     delta: list = []
+    done = [False] * len(items)
+    emitted = 0
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -208,6 +230,17 @@ def execute_batch(
                 delta.extend(chunk_delta)
                 for index, data in zip(chunk, datas):
                     results[index] = rebuild(data)
+                    done[index] = True
+                # Chunks complete out of input order; deliver the
+                # contiguous ready prefix so the hook still streams
+                # strictly in input order.
+                while (
+                    on_result is not None
+                    and emitted < len(items)
+                    and done[emitted]
+                ):
+                    on_result(emitted, results[emitted])
+                    emitted += 1
     finally:
         if transient and store_dir:
             shutil.rmtree(store_dir, ignore_errors=True)

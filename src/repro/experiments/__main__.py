@@ -16,7 +16,13 @@ Subcommands:
   one collective under pristine/failed/dimmed/hotspot/lost-wavelength
   fabrics with the ``dp`` and fault-avoiding ``avoid`` solvers, and
   report slowdowns over the pristine fabric.
+* ``serve [...]``     — run the planner daemon as a service (unix
+  socket, TCP, or stdio JSONL); ``--smoke N`` runs the concurrent
+  self-test CI uses.
 * ``list``            — available collectives, solvers, policies, traces.
+
+``--version`` prints the library version (single-sourced from
+``pyproject.toml``) and exits.
 
 The ``plan`` and ``simulate`` subcommands are config-driven:
 ``--scenario FILE`` loads a declarative :class:`~repro.planner.Scenario`
@@ -74,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's evaluation figures.",
+    )
+    from .. import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -216,6 +227,60 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the grid cells as JSON to FILE (or stdout when no "
         "file is given)",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the planner daemon as a JSONL service "
+        "(unix socket, TCP, or stdio)",
+    )
+    serve_cmd.add_argument(
+        "--socket", default=None, help="unix socket path (default transport)"
+    )
+    serve_cmd.add_argument(
+        "--host", default=None, help="bind TCP on this host instead"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=None, help="TCP port (0 = ephemeral)"
+    )
+    serve_cmd.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak the JSONL protocol over stdin/stdout",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist the resident theta cache to this DiskStore directory "
+        "(default: REPRO_CACHE_DIR when set)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        help="micro-batch admission window in milliseconds",
+    )
+    serve_cmd.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        help="flush a micro-batch at this many pending plans",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2, help="solver thread pool size"
+    )
+    serve_cmd.add_argument(
+        "--smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="self-test: N concurrent mixed requests through the async "
+        "client, then exit (0 = all succeeded and work was shared)",
+    )
+    serve_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="with --smoke, also dump the final metrics snapshot as JSON",
     )
 
     sub.add_parser(
@@ -552,6 +617,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "degradation":
         return _run_degradation(args)
+
+    if args.command == "serve":
+        from .serve import run_serve
+
+        return run_serve(args)
 
     config = PAPER_CONFIG
     if args.n is not None:

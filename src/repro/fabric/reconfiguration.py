@@ -18,6 +18,7 @@ All models return 0.0 when the target equals the current configuration.
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from bisect import bisect_left
 from collections.abc import Mapping, Sequence
@@ -91,6 +92,23 @@ class ReconfigurationModel(ABC):
         if previous == target:
             return 0.0
         return self.delay_for_ports(len(touched_ports(previous, target)))
+
+    def __eq__(self, other: object) -> bool:
+        # Serializable models compare by value (their dict form), so a
+        # model survives a to_dict/from_dict round trip equal to the
+        # original; non-serializable subclasses keep identity equality.
+        if not isinstance(other, ReconfigurationModel):
+            return NotImplemented
+        try:
+            return self.to_dict() == other.to_dict()
+        except FabricError:
+            return self is other
+
+    def __hash__(self) -> int:
+        try:
+            return hash(json.dumps(self.to_dict(), sort_keys=True))
+        except FabricError:
+            return object.__hash__(self)
 
 
 class ConstantReconfigurationDelay(ReconfigurationModel):

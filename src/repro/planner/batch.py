@@ -4,11 +4,14 @@ The canonical implementation is :func:`repro.engine.plan_many` in
 :mod:`repro.engine.api` — batching semantics, caching tiers, execution
 backends, and parameter documentation all live there.  This module
 only keeps the historical ``from repro.planner import plan_many``
-import path working; new code should import from :mod:`repro.engine`.
+import path working; calling it emits a :class:`DeprecationWarning` —
+new code should import from :mod:`repro.engine` (the top-level
+``repro.plan_many`` already points there).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 
 from ..flows import ThroughputCache, default_cache
@@ -34,6 +37,12 @@ def plan_many(
     serial / thread / process execution backend; ``theta_backend``
     routes bare scenarios through a registered throughput backend).
     """
+    warnings.warn(
+        "repro.planner.plan_many is a deprecated compatibility shim; "
+        "import plan_many from repro.engine (or use repro.plan_many)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..engine.api import plan_many as _engine_plan_many
 
     return _engine_plan_many(

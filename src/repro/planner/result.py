@@ -18,7 +18,13 @@ from .._validation import require_field as _require
 from ..core.schedule import Decision, Schedule, ScheduleCost
 from ..exceptions import ConfigurationError
 from ..flows.cache import CacheStats
-from .scenario import Options, Scenario, _freeze_options, _thaw_options
+from .scenario import (
+    Options,
+    Scenario,
+    _freeze_options,
+    _thaw_options,
+    canonical_digest,
+)
 
 __all__ = ["PlanRequest", "PlanResult"]
 
@@ -42,6 +48,23 @@ class PlanRequest:
     def options_dict(self) -> dict[str, object]:
         """Solver options as a plain dict."""
         return _thaw_options(self.options)
+
+    def fingerprint(self) -> str:
+        """A stable content digest of this request.
+
+        Covers the scenario, the solver choice, and the solver options
+        — everything that determines the plan — so identical concurrent
+        requests can be recognized and coalesced onto one solve (see
+        :mod:`repro.service`).
+        """
+        return canonical_digest(
+            "plan-request-v1",
+            {
+                "scenario": self.scenario.to_dict(),
+                "solver": self.solver,
+                "options": self.options_dict,
+            },
+        )
 
 
 @dataclass(frozen=True)

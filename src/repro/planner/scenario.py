@@ -15,6 +15,8 @@ across a grid sweep.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import threading
 import weakref
@@ -51,8 +53,21 @@ __all__ = [
     "CollectiveSpec",
     "Scenario",
     "available_topology_families",
+    "canonical_digest",
     "scenario_grid",
 ]
+
+
+def canonical_digest(tag: str, payload: object) -> str:
+    """SHA-256 of ``payload``'s canonical JSON form, prefixed by ``tag``.
+
+    The content-addressing primitive behind every ``fingerprint()`` in
+    the declarative layer: ``payload`` must be JSON-serializable (the
+    ``to_dict`` forms are), keys are sorted, and the ``tag`` versions
+    the digest so future schema changes cannot collide with old ones.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(f"{tag}:{body}".encode("utf-8")).hexdigest()
 
 Options = tuple[tuple[str, object], ...]
 
@@ -544,6 +559,17 @@ class Scenario:
         """The same scenario on a fault-free fabric (degradation-vs-
         pristine comparisons start here)."""
         return self.replace(health=None)
+
+    def fingerprint(self) -> str:
+        """A stable content digest of this scenario.
+
+        The hex digest of the canonical (sorted-key JSON) ``to_dict``
+        form, so two processes — or a service client and its daemon —
+        agree on the address of identical scenarios.  Equal scenarios
+        have equal fingerprints; the request-coalescing layer in
+        :mod:`repro.service` keys in-flight work by it.
+        """
+        return canonical_digest("scenario-v1", self.to_dict())
 
     def build_collective(self) -> Collective:
         """The collective instance for this domain."""

@@ -1,0 +1,87 @@
+"""Planner-as-a-service: a resident asyncio daemon over the engine.
+
+The library's planning APIs are invoke-per-call: every process pays
+theta solves from a cold cache.  This package keeps the cache — and the
+event loop around it — *resident*:
+
+* :mod:`~repro.service.schemas` — frozen, dict-round-trippable
+  request/response envelopes (:class:`ServiceRequest`,
+  :class:`ServiceResponse`, typed per-kind bodies, :class:`ServiceError`);
+* :mod:`~repro.service.validator` — admission-time validation so
+  nothing malformed ever reaches a solver;
+* :mod:`~repro.service.daemon` — :class:`PlannerDaemon`: request
+  coalescing by content fingerprint, micro-batching through
+  :func:`repro.engine.plan_many` with theta-affinity ordering, a
+  resident :class:`~repro.flows.ThroughputCache` (optionally backed by
+  the persistent :class:`~repro.engine.DiskStore`), streaming batch
+  results, and a metrics endpoint;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  JSONL protocol over unix sockets, TCP, or stdio, with multiplexing
+  async and blocking sync clients.
+
+In-process quickstart::
+
+    import asyncio
+    from repro import PlannerDaemon, Scenario
+    from repro.service import PlanBody, ServiceRequest
+
+    async def main():
+        async with PlannerDaemon() as daemon:
+            scenario = Scenario.create("allreduce_ring", n=8)
+            response = await daemon.submit(
+                ServiceRequest(body=PlanBody(scenario=scenario))
+            )
+            assert response.ok
+
+    asyncio.run(main())
+
+Run ``python -m repro.experiments serve --socket /tmp/repro.sock`` for
+the daemon as a process; see :mod:`repro.service.client` for talking to
+it.
+"""
+
+from .schemas import (
+    REQUEST_KINDS,
+    DegradationBody,
+    MetricsBody,
+    PlanBatchBody,
+    PlanBody,
+    RequestBody,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+    SimulateBody,
+    WorkloadBody,
+    new_request_id,
+)
+from .validator import ValidationError, try_validate, validate_request
+from .metrics import DaemonMetrics, LatencyHistogram
+from .daemon import PlannerDaemon
+from .server import ServiceServer, serve_stdio
+from .client import AsyncServiceClient, ServiceClient, ServiceUnavailable
+
+__all__ = [
+    "REQUEST_KINDS",
+    "PlanBody",
+    "PlanBatchBody",
+    "SimulateBody",
+    "WorkloadBody",
+    "DegradationBody",
+    "MetricsBody",
+    "RequestBody",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceError",
+    "new_request_id",
+    "ValidationError",
+    "validate_request",
+    "try_validate",
+    "DaemonMetrics",
+    "LatencyHistogram",
+    "PlannerDaemon",
+    "ServiceServer",
+    "serve_stdio",
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceUnavailable",
+]

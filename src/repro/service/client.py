@@ -1,0 +1,431 @@
+"""Clients for the planner service's JSONL protocol.
+
+Two flavours over the same wire format:
+
+* :class:`AsyncServiceClient` — multiplexing asyncio client.  Any
+  number of requests may be in flight on one connection; a background
+  reader task routes each response line to its caller by request id,
+  so coalescing on the daemon side is exercised naturally by
+  ``asyncio.gather``-ing identical calls.
+* :class:`ServiceClient` — blocking convenience wrapper for scripts and
+  REPLs.  One request at a time per connection; no asyncio required at
+  the call site.
+
+Both return typed :class:`~repro.service.ServiceResponse` objects and
+never raise for service-side failures — check ``response.ok`` /
+``response.error``.  Convenience helpers (``plan``, ``simulate``,
+``metrics``, ...) build the envelopes for you; ``request()`` accepts a
+ready-made :class:`~repro.service.ServiceRequest`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from collections.abc import AsyncIterator, Iterable, Iterator, Sequence
+
+from ..exceptions import ConfigurationError, ReproError
+from ..planner.scenario import Scenario
+from ..workload.spec import Workload
+from .schemas import (
+    DegradationBody,
+    MetricsBody,
+    PlanBatchBody,
+    PlanBody,
+    RequestBody,
+    ServiceRequest,
+    ServiceResponse,
+    SimulateBody,
+    WorkloadBody,
+)
+from .server import MAX_LINE_BYTES
+
+__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ReproError):
+    """The transport failed (connection refused, closed mid-exchange)."""
+
+
+def _encode(request: ServiceRequest, stream: bool = False) -> bytes:
+    payload = request.to_dict()
+    if stream:
+        payload["stream"] = True
+    return json.dumps(payload, sort_keys=True).encode() + b"\n"
+
+
+def _make_request(body: RequestBody, **envelope) -> ServiceRequest:
+    return ServiceRequest(body=body, **envelope)
+
+
+class _RequestBuilders:
+    """Envelope-building helpers shared by both clients.
+
+    Subclasses implement ``request`` (and, for the async client,
+    ``request_stream``); everything else is sugar over it.
+    """
+
+    @staticmethod
+    def plan_request(
+        scenario: Scenario,
+        solver: str = "dp",
+        options: dict | None = None,
+        **envelope,
+    ) -> ServiceRequest:
+        return _make_request(
+            PlanBody(scenario=scenario, solver=solver, options=options or ()),
+            **envelope,
+        )
+
+    @staticmethod
+    def plan_batch_request(
+        scenarios: "Sequence[Scenario] | Iterable[Scenario]",
+        solver: str = "dp",
+        options: dict | None = None,
+        **envelope,
+    ) -> ServiceRequest:
+        return _make_request(
+            PlanBatchBody(
+                scenarios=tuple(scenarios), solver=solver, options=options or ()
+            ),
+            **envelope,
+        )
+
+    @staticmethod
+    def simulate_request(
+        scenario: Scenario,
+        solver: str = "dp",
+        rate_method: str = "mcf",
+        accounting: str = "paper",
+        options: dict | None = None,
+        **envelope,
+    ) -> ServiceRequest:
+        return _make_request(
+            SimulateBody(
+                scenario=scenario,
+                solver=solver,
+                rate_method=rate_method,
+                accounting=accounting,
+                options=options or (),
+            ),
+            **envelope,
+        )
+
+    @staticmethod
+    def workload_request(
+        workload: Workload,
+        policy: str = "replan",
+        solver: str = "dp",
+        reconfiguration_model=None,
+        options: dict | None = None,
+        **envelope,
+    ) -> ServiceRequest:
+        return _make_request(
+            WorkloadBody(
+                workload=workload,
+                policy=policy,
+                solver=solver,
+                reconfiguration_model=reconfiguration_model,
+                options=options or (),
+            ),
+            **envelope,
+        )
+
+    @staticmethod
+    def degradation_request(
+        scenario: Scenario,
+        seed: int = 7,
+        solvers: Sequence[str] = ("dp", "avoid"),
+        **envelope,
+    ) -> ServiceRequest:
+        return _make_request(
+            DegradationBody(scenario=scenario, seed=seed, solvers=tuple(solvers)),
+            **envelope,
+        )
+
+    @staticmethod
+    def metrics_request(**envelope) -> ServiceRequest:
+        return _make_request(MetricsBody(), **envelope)
+
+
+class AsyncServiceClient(_RequestBuilders):
+    """Multiplexing asyncio client: many in-flight requests, one socket.
+
+    Construct through :meth:`connect_unix` / :meth:`connect_tcp` (or use
+    ``async with``).  Responses are routed to callers by request id by a
+    background reader task, so ``gather``-ing calls exercises the
+    daemon's coalescing and micro-batching directly.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._unary: dict[str, asyncio.Future] = {}
+        self._streams: dict[str, asyncio.Queue] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect_unix(cls, path: str) -> "AsyncServiceClient":
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                path, limit=MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to unix socket {path!r}: {exc}"
+            ) from exc
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "AsyncServiceClient":
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ServiceUnavailable("client closed"))
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- core ----------------------------------------------------------------
+
+    async def request(self, request: ServiceRequest) -> ServiceResponse:
+        """Send one request; await its (final) response."""
+        future = asyncio.get_running_loop().create_future()
+        self._unary[request.id] = future
+        try:
+            await self._send(request)
+            return await future
+        finally:
+            self._unary.pop(request.id, None)
+
+    async def request_stream(
+        self, request: ServiceRequest
+    ) -> AsyncIterator[ServiceResponse]:
+        """Send one request with streaming on; yield every response.
+
+        For ``plan_batch`` this is one chunk per scenario (in input
+        order) followed by the ``final=True`` summary; other kinds yield
+        a single final response.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams[request.id] = queue
+        try:
+            await self._send(request, stream=True)
+            while True:
+                response = await queue.get()
+                if isinstance(response, BaseException):
+                    raise response
+                yield response
+                if response.final:
+                    return
+        finally:
+            self._streams.pop(request.id, None)
+
+    # -- sugar ---------------------------------------------------------------
+
+    async def plan(self, scenario: Scenario, **kwargs) -> ServiceResponse:
+        return await self.request(self.plan_request(scenario, **kwargs))
+
+    async def plan_batch(self, scenarios, **kwargs) -> ServiceResponse:
+        return await self.request(self.plan_batch_request(scenarios, **kwargs))
+
+    async def simulate(self, scenario: Scenario, **kwargs) -> ServiceResponse:
+        return await self.request(self.simulate_request(scenario, **kwargs))
+
+    async def workload(self, workload: Workload, **kwargs) -> ServiceResponse:
+        return await self.request(self.workload_request(workload, **kwargs))
+
+    async def degradation(self, scenario: Scenario, **kwargs) -> ServiceResponse:
+        return await self.request(self.degradation_request(scenario, **kwargs))
+
+    async def metrics(self) -> ServiceResponse:
+        return await self.request(self.metrics_request())
+
+    # -- plumbing ------------------------------------------------------------
+
+    async def _send(self, request: ServiceRequest, stream: bool = False) -> None:
+        async with self._write_lock:
+            self._writer.write(_encode(request, stream=stream))
+            try:
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceUnavailable(f"connection lost: {exc}") from exc
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(
+                        ServiceUnavailable("server closed the connection")
+                    )
+                    return
+                if not line.strip():
+                    continue
+                response = ServiceResponse.from_dict(json.loads(line))
+                queue = self._streams.get(response.id)
+                if queue is not None:
+                    queue.put_nowait(response)
+                    continue
+                future = self._unary.get(response.id)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(
+                ServiceUnavailable(f"protocol failure: {exc}")
+            )
+
+    def _fail_pending(self, exc: ReproError) -> None:
+        for future in self._unary.values():
+            if not future.done():
+                future.set_exception(exc)
+        for queue in self._streams.values():
+            queue.put_nowait(exc)
+
+
+class ServiceClient(_RequestBuilders):
+    """Blocking client for scripts: one request at a time, no asyncio.
+
+    Usage::
+
+        with ServiceClient.connect_unix("/tmp/repro.sock") as client:
+            response = client.plan(scenario, solver="dp")
+            assert response.ok
+
+    Not thread-safe; open one client per thread (the daemon happily
+    serves many connections).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._recv_file = sock.makefile("rb")
+
+    @classmethod
+    def connect_unix(cls, path: str, timeout: float | None = None) -> "ServiceClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceUnavailable(
+                f"cannot connect to unix socket {path!r}: {exc}"
+            ) from exc
+        return cls(sock)
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float | None = None
+    ) -> "ServiceClient":
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        return cls(sock)
+
+    def close(self) -> None:
+        try:
+            self._recv_file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- core ----------------------------------------------------------------
+
+    def request(self, request: ServiceRequest) -> ServiceResponse:
+        """Send one request; block for its (final) response."""
+        self._write(request)
+        for response in self._read_responses(request.id):
+            if response.final:
+                return response
+        raise ServiceUnavailable("server closed mid-response")
+
+    def request_stream(
+        self, request: ServiceRequest
+    ) -> Iterator[ServiceResponse]:
+        """Send one streaming request; yield responses up to the final one."""
+        self._write(request, stream=True)
+        yield from self._read_responses(request.id)
+
+    # -- sugar ---------------------------------------------------------------
+
+    def plan(self, scenario: Scenario, **kwargs) -> ServiceResponse:
+        return self.request(self.plan_request(scenario, **kwargs))
+
+    def plan_batch(self, scenarios, **kwargs) -> ServiceResponse:
+        return self.request(self.plan_batch_request(scenarios, **kwargs))
+
+    def simulate(self, scenario: Scenario, **kwargs) -> ServiceResponse:
+        return self.request(self.simulate_request(scenario, **kwargs))
+
+    def workload(self, workload: Workload, **kwargs) -> ServiceResponse:
+        return self.request(self.workload_request(workload, **kwargs))
+
+    def degradation(self, scenario: Scenario, **kwargs) -> ServiceResponse:
+        return self.request(self.degradation_request(scenario, **kwargs))
+
+    def metrics(self) -> ServiceResponse:
+        return self.request(self.metrics_request())
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _write(self, request: ServiceRequest, stream: bool = False) -> None:
+        try:
+            self._sock.sendall(_encode(request, stream=stream))
+        except OSError as exc:
+            raise ServiceUnavailable(f"connection lost: {exc}") from exc
+
+    def _read_responses(self, request_id: str) -> Iterator[ServiceResponse]:
+        while True:
+            try:
+                line = self._recv_file.readline()
+            except OSError as exc:
+                raise ServiceUnavailable(f"connection lost: {exc}") from exc
+            if not line:
+                raise ServiceUnavailable("server closed the connection")
+            if not line.strip():
+                continue
+            response = ServiceResponse.from_dict(json.loads(line))
+            if response.id != request_id:
+                raise ConfigurationError(
+                    f"response id {response.id!r} does not match request id "
+                    f"{request_id!r}; the blocking client supports one "
+                    "request at a time"
+                )
+            yield response
+            if response.final:
+                return

@@ -1,0 +1,146 @@
+"""Daemon observability: counters and latency histograms.
+
+Everything the ``metrics`` request kind exposes lives here.  The
+daemon records one latency sample per completed request into a
+per-kind :class:`LatencyHistogram`; snapshots report exact cumulative
+count / mean / max plus quantiles over a bounded window of recent
+samples (the daemon is long-lived — unbounded sample retention would
+be a slow leak) and fixed log-spaced bucket counts for dashboards.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyHistogram", "DaemonMetrics"]
+
+#: Upper bucket edges in milliseconds (the last bucket is unbounded).
+BUCKET_EDGES_MS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0)
+
+#: How many recent samples back the quantile estimates.
+QUANTILE_WINDOW = 4096
+
+
+class LatencyHistogram:
+    """Latency tracking for one request kind.
+
+    Cumulative ``count`` / ``mean`` / ``max`` are exact over the
+    daemon's lifetime; ``p50`` / ``p90`` / ``p99`` are computed over
+    the most recent :data:`QUANTILE_WINDOW` samples; ``buckets`` are
+    cumulative counts per log-spaced edge.  Thread-safe — transports
+    may snapshot while the loop records.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=QUANTILE_WINDOW)
+        self._buckets = [0] * (len(BUCKET_EDGES_MS) + 1)
+        self.count = 0
+        self.errors = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float, ok: bool = True) -> None:
+        ms = float(seconds) * 1e3
+        with self._lock:
+            self.count += 1
+            if not ok:
+                self.errors += 1
+            self._sum += ms
+            self._max = max(self._max, ms)
+            self._recent.append(ms)
+            for index, edge in enumerate(BUCKET_EDGES_MS):
+                if ms <= edge:
+                    self._buckets[index] += 1
+                    break
+            else:
+                self._buckets[-1] += 1
+
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        position = q * (len(ordered) - 1)
+        low = math.floor(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            ordered = sorted(self._recent)
+            labels = [f"le_{edge:g}ms" for edge in BUCKET_EDGES_MS] + ["inf"]
+            return {
+                "count": self.count,
+                "errors": self.errors,
+                "mean_ms": (self._sum / self.count) if self.count else 0.0,
+                "max_ms": self._max,
+                "p50_ms": self._quantile(ordered, 0.50),
+                "p90_ms": self._quantile(ordered, 0.90),
+                "p99_ms": self._quantile(ordered, 0.99),
+                "buckets": dict(zip(labels, self._buckets)),
+            }
+
+
+@dataclass
+class DaemonMetrics:
+    """The daemon's counters (latency histograms keyed by request kind).
+
+    ``dispatched`` counts requests that actually reached a solver path;
+    ``coalesced`` counts requests served by piggybacking on another
+    request's in-flight solve — the two together partition admitted
+    work, which is how tests prove "two identical concurrent requests,
+    one solver invocation".
+    """
+
+    admitted: int = 0
+    completed: int = 0
+    dispatched: int = 0
+    coalesced: int = 0
+    validation_errors: int = 0
+    deadline_errors: int = 0
+    solver_errors: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    largest_batch: int = 0
+    streams: int = 0
+    stream_chunks: int = 0
+    latency: dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def histogram(self, kind: str) -> LatencyHistogram:
+        hist = self.latency.get(kind)
+        if hist is None:
+            hist = self.latency[kind] = LatencyHistogram()
+        return hist
+
+    def observe(self, kind: str, seconds: float, ok: bool) -> None:
+        self.completed += 1
+        self.histogram(kind).record(seconds, ok=ok)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.largest_batch = max(self.largest_batch, size)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "dispatched": self.dispatched,
+            "coalesced": self.coalesced,
+            "validation_errors": self.validation_errors,
+            "deadline_errors": self.deadline_errors,
+            "solver_errors": self.solver_errors,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "largest_batch": self.largest_batch,
+            "streams": self.streams,
+            "stream_chunks": self.stream_chunks,
+            "requests": {
+                kind: hist.snapshot()
+                for kind, hist in sorted(self.latency.items())
+            },
+        }

@@ -4,11 +4,14 @@ The canonical implementation is :func:`repro.engine.sim_many` in
 :mod:`repro.engine.api` — batching semantics, caching tiers, execution
 backends, and parameter documentation all live there.  This module
 only keeps the historical ``from repro.sim import sim_many`` import
-path working; new code should import from :mod:`repro.engine`.
+path working; calling it emits a :class:`DeprecationWarning` — new code
+should import from :mod:`repro.engine` (the top-level ``repro.sim_many``
+already points there).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 
 from ..flows import ThroughputCache, default_cache
@@ -37,6 +40,12 @@ def sim_many(
     the full parameter documentation (``parallel_backend`` selects the
     serial / thread / process execution backend).
     """
+    warnings.warn(
+        "repro.sim.sim_many is a deprecated compatibility shim; "
+        "import sim_many from repro.engine (or use repro.sim_many)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..engine.api import sim_many as _engine_sim_many
 
     return _engine_sim_many(

@@ -118,6 +118,14 @@ class Workload:
         """A copy with extra phases appended."""
         return self.replace(phases=self.phases + tuple(phases))
 
+    def fingerprint(self) -> str:
+        """A stable content digest of this workload (canonical JSON of
+        :meth:`to_dict`), used by :mod:`repro.service` to coalesce
+        identical in-flight workload requests onto one execution."""
+        from ..planner.scenario import canonical_digest
+
+        return canonical_digest("workload-v1", self.to_dict())
+
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:

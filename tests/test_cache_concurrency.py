@@ -18,7 +18,8 @@ import pytest
 from repro.flows import ThroughputCache
 from repro.matching import Matching
 from repro.planner import scenario_grid
-from repro.planner import Scenario, plan_many
+from repro.engine import plan_many
+from repro.planner import Scenario
 from repro.topology import ring
 from repro.units import Gbps, KiB, MiB, ns, us
 

@@ -23,7 +23,7 @@ from pathlib import Path
 import pytest
 
 DOCS = Path(__file__).parent.parent / "docs"
-DOC_FILES = ("architecture.md", "cookbook.md", "paper_map.md")
+DOC_FILES = ("architecture.md", "cookbook.md", "paper_map.md", "service.md")
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -31,6 +31,7 @@ from repro.core.overlap import optimize_with_overlap
 from repro.core.schedule import Schedule
 from repro.collectives import make_collective
 from repro.exceptions import ConfigurationError, ScheduleError
+from repro.engine import plan_many
 from repro.flows import PathLengthRule, ThroughputCache
 from repro.planner import (
     CollectiveSpec,
@@ -40,7 +41,6 @@ from repro.planner import (
     available_solvers,
     available_topology_families,
     plan,
-    plan_many,
     register_solver,
     scenario_grid,
     unregister_solver,

@@ -1,0 +1,278 @@
+"""Service envelope schemas: round-tripping and admission validation.
+
+The wire contract of planner-as-a-service is ``to_dict``/``from_dict``
+being exact inverses for every request/response variant — including
+scenarios carrying degraded :class:`~repro.fabric.FabricHealth` — plus
+the validator rejecting anything malformed *before* a solver runs.
+Property-based (hypothesis) over the scenario/envelope space.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fabric import hotspot, random_failures, uniform_degradation
+from repro.fabric.reconfiguration import PerPortReconfigurationDelay
+from repro.planner import Scenario
+from repro.service import (
+    REQUEST_KINDS,
+    DegradationBody,
+    MetricsBody,
+    PlanBatchBody,
+    PlanBody,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+    SimulateBody,
+    ValidationError,
+    WorkloadBody,
+    try_validate,
+    validate_request,
+)
+from repro.units import Gbps, KiB, MiB, ns, us
+from repro.workload import bursty_trace, steady_trace
+
+# -- strategies --------------------------------------------------------------
+
+ALGORITHMS = (
+    "allreduce_ring",
+    "allreduce_recursive_doubling",
+    "allgather_ring",
+    "alltoall",
+)
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    n = draw(st.sampled_from((4, 8, 16)))
+    algorithm = draw(st.sampled_from(ALGORITHMS))
+    health_kind = draw(
+        st.sampled_from(("pristine", "uniform", "failures", "hotspot"))
+    )
+    if health_kind == "uniform":
+        health = uniform_degradation(n, draw(st.sampled_from((0.5, 0.8))))
+    elif health_kind == "failures":
+        health = random_failures(n, seed=draw(st.integers(0, 5)))
+    elif health_kind == "hotspot":
+        health = hotspot(n, severity=0.5)
+    else:
+        health = None
+    return Scenario.create(
+        algorithm,
+        n=n,
+        message_size=draw(st.sampled_from((KiB(64), MiB(1), MiB(64)))),
+        bandwidth=Gbps(draw(st.sampled_from((400.0, 800.0)))),
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(draw(st.sampled_from((1.0, 10.0, 100.0)))),
+        health=health,
+    )
+
+
+@st.composite
+def bodies(draw):
+    kind = draw(st.sampled_from(REQUEST_KINDS))
+    if kind == "plan":
+        return PlanBody(
+            scenario=draw(scenarios()),
+            solver=draw(st.sampled_from(("dp", "greedy"))),
+            options=draw(st.sampled_from(({}, {"pool_size": 2}))),
+        )
+    if kind == "plan_batch":
+        return PlanBatchBody(
+            scenarios=tuple(
+                draw(st.lists(scenarios(), min_size=1, max_size=3))
+            ),
+            solver="dp",
+        )
+    if kind == "simulate":
+        return SimulateBody(
+            scenario=draw(scenarios()),
+            rate_method=draw(st.sampled_from(("mcf", "maxmin"))),
+            accounting=draw(st.sampled_from(("paper", "physical"))),
+        )
+    if kind == "workload":
+        base = draw(scenarios())
+        trace = draw(st.sampled_from((steady_trace, bursty_trace)))
+        return WorkloadBody(
+            workload=trace(base, phases=draw(st.sampled_from((2, 3)))),
+            policy=draw(st.sampled_from(("replan", "hysteresis"))),
+            reconfiguration_model=draw(
+                st.sampled_from(
+                    (None, PerPortReconfigurationDelay(us(1), ns(500)))
+                )
+            ),
+        )
+    if kind == "degradation":
+        return DegradationBody(
+            scenario=draw(scenarios()),
+            seed=draw(st.integers(0, 100)),
+            solvers=draw(st.sampled_from((("dp",), ("dp", "avoid")))),
+        )
+    return MetricsBody()
+
+
+@st.composite
+def requests(draw) -> ServiceRequest:
+    return ServiceRequest(
+        body=draw(bodies()),
+        id=draw(st.sampled_from(("", "abc123", "req-7"))),
+        priority=draw(st.integers(-2, 2)),
+        deadline_s=draw(st.sampled_from((None, 0.5, 30.0))),
+    )
+
+
+# -- round-tripping ----------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(requests())
+    def test_request_roundtrip_exact(self, request):
+        data = request.to_dict()
+        # The wire dict must be JSON-serializable as-is.
+        rebuilt = ServiceRequest.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == request
+        assert rebuilt.to_dict() == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(requests())
+    def test_fingerprint_ignores_envelope_but_not_body(self, request):
+        relabeled = ServiceRequest(
+            body=request.body, id="other", priority=9, deadline_s=1.0
+        )
+        assert relabeled.fingerprint() == request.fingerprint()
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_fingerprint_distinguishes_bodies(self, data):
+        a = data.draw(bodies())
+        b = data.draw(bodies())
+        fp_a = ServiceRequest(body=a).fingerprint()
+        fp_b = ServiceRequest(body=b).fingerprint()
+        assert (fp_a == fp_b) == (a.to_dict() == b.to_dict() and a.kind == b.kind)
+
+    def test_response_roundtrip_ok_and_error(self):
+        ok = ServiceResponse(
+            id="a", kind="plan", ok=True, result={"x": 1}, elapsed_s=0.25,
+            coalesced=True, seq=3, final=False,
+        )
+        err = ServiceResponse(
+            id="b",
+            kind="simulate",
+            ok=False,
+            error=ServiceError(code="solver", message="boom", details=("d1",)),
+        )
+        for response in (ok, err):
+            data = json.loads(json.dumps(response.to_dict()))
+            assert ServiceResponse.from_dict(data) == response
+
+    def test_response_ok_error_consistency(self):
+        with pytest.raises(ConfigurationError):
+            ServiceResponse(id="a", kind="plan", ok=True,
+                            error=ServiceError(code="solver", message="x"))
+        with pytest.raises(ConfigurationError):
+            ServiceResponse(id="a", kind="plan", ok=False)
+
+    def test_empty_id_gets_generated(self):
+        request = ServiceRequest(body=MetricsBody())
+        assert request.id
+        assert request.with_id("fixed").id == "fixed"
+
+
+# -- validation --------------------------------------------------------------
+
+
+class TestValidator:
+    def test_accepts_valid_mapping(self, small_scenario):
+        request = validate_request(
+            {"kind": "plan", "body": {"scenario": small_scenario.to_dict()}}
+        )
+        assert isinstance(request.body, PlanBody)
+
+    @pytest.mark.parametrize(
+        "payload, path",
+        [
+            ({"kind": "nope", "body": {}}, "kind"),
+            ({"kind": "plan", "id": 7, "body": {}}, "id"),
+            ({"kind": "plan", "priority": "high", "body": {}}, "priority"),
+            ({"kind": "plan", "deadline_s": -1, "body": {}}, "deadline_s"),
+            ({"kind": "plan", "deadline_s": True, "body": {}}, "deadline_s"),
+            ({"kind": "plan", "body": 42}, "body"),
+        ],
+    )
+    def test_rejects_bad_envelope_with_path(self, payload, path):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_request(payload)
+        assert excinfo.value.path == path
+
+    def test_rejects_unknown_body_keys(self, small_scenario):
+        with pytest.raises(ValidationError):
+            validate_request(
+                {
+                    "kind": "plan",
+                    "body": {
+                        "scenario": small_scenario.to_dict(),
+                        "bogus": 1,
+                    },
+                }
+            )
+
+    def test_rejects_unknown_solver_policy_rate_method(self, small_scenario):
+        scenario = small_scenario.to_dict()
+        for payload, path in [
+            (
+                {"kind": "plan", "body": {"scenario": scenario,
+                                          "solver": "nope"}},
+                "body.solver",
+            ),
+            (
+                {"kind": "simulate", "body": {"scenario": scenario,
+                                              "rate_method": "nope"}},
+                "body.rate_method",
+            ),
+            (
+                {"kind": "degradation", "body": {"scenario": scenario,
+                                                 "solvers": ["dp", "nope"]}},
+                "body.solvers",
+            ),
+        ]:
+            with pytest.raises(ValidationError) as excinfo:
+                validate_request(payload)
+            assert excinfo.value.path == path
+
+    def test_malformed_scenario_is_validation_not_crash(self):
+        request, error = try_validate(
+            {"kind": "plan", "body": {"scenario": {"not": "a scenario"}}}
+        )
+        assert request is None
+        assert error is not None and error.code == "validation"
+
+    def test_try_validate_never_raises(self):
+        for garbage in (None, 42, "x", [], {"kind": []}, {"body": object()}):
+            request, error = try_validate(garbage)
+            assert request is None
+            assert error is not None and error.code == "validation"
+
+    def test_typed_request_revalidates_registries(self, small_scenario):
+        # A typed request built against a solver that has since been
+        # unregistered must still be rejected at admission.
+        request = ServiceRequest(body=PlanBody(scenario=small_scenario))
+        assert validate_request(request) is request
+
+
+@pytest.fixture
+def small_scenario():
+    return Scenario.create(
+        "allreduce_ring",
+        n=4,
+        message_size=KiB(64),
+        bandwidth=Gbps(800),
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+    )

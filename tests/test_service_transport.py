@@ -1,0 +1,219 @@
+"""The JSONL wire: server + async/sync clients over real sockets.
+
+Covers the transport acceptance path: a unix-socket daemon serving
+concurrent mixed requests from the multiplexing async client (the CI
+smoke job in miniature), protocol survival of garbage input, streaming
+over the wire, the blocking client, and TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.planner import Scenario
+from repro.service import (
+    AsyncServiceClient,
+    PlannerDaemon,
+    ServiceClient,
+    ServiceServer,
+    ServiceUnavailable,
+)
+from repro.units import Gbps, KiB, ns, us
+
+
+def scenario(n=8, algorithm="allreduce_ring"):
+    return Scenario.create(
+        algorithm,
+        n=n,
+        message_size=KiB(64),
+        bandwidth=Gbps(800),
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+    )
+
+
+@pytest.fixture
+def socket_path(tmp_path):
+    return str(tmp_path / "repro.sock")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestUnixSocket:
+    def test_unary_roundtrip(self, socket_path):
+        async def main():
+            async with ServiceServer(PlannerDaemon()) as server:
+                await server.start_unix(socket_path)
+                async with await AsyncServiceClient.connect_unix(
+                    socket_path
+                ) as client:
+                    return await client.plan(scenario())
+
+        response = run(main())
+        assert response.ok
+        assert response.result["total_time"] > 0
+
+    def test_concurrent_mixed_requests_all_succeed_and_coalesce(
+        self, socket_path
+    ):
+        """The CI smoke assertion, as a test: 50 concurrent mixed
+        requests through one connection, all ok, coalescing > 0."""
+
+        async def main():
+            async with ServiceServer(PlannerDaemon()) as server:
+                await server.start_unix(socket_path)
+                async with await AsyncServiceClient.connect_unix(
+                    socket_path
+                ) as client:
+                    pool = [scenario(n=n) for n in (4, 8)]
+                    requests = []
+                    for index in range(50):
+                        if index % 5 == 4:
+                            requests.append(client.metrics_request())
+                        elif index % 5 == 3:
+                            requests.append(client.plan_batch_request(pool))
+                        else:
+                            requests.append(
+                                client.plan_request(pool[index % 2])
+                            )
+                    responses = await asyncio.gather(
+                        *(client.request(r) for r in requests)
+                    )
+                    metrics = (await client.metrics()).result
+                    return responses, metrics
+
+        responses, metrics = run(main())
+        assert len(responses) == 50
+        assert all(response.ok for response in responses)
+        assert metrics["coalesced"] + metrics["batched_requests"] > 1
+        assert metrics["coalesced"] > 0
+
+    def test_garbage_line_gets_error_response_and_connection_survives(
+        self, socket_path
+    ):
+        async def main():
+            async with ServiceServer(PlannerDaemon()) as server:
+                await server.start_unix(socket_path)
+                reader, writer = await asyncio.open_unix_connection(
+                    socket_path
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                garbage_reply = json.loads(await reader.readline())
+                writer.write(
+                    json.dumps(
+                        {"kind": "metrics", "id": "m1", "body": {}}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                metrics_reply = json.loads(await reader.readline())
+                writer.close()
+                return garbage_reply, metrics_reply
+
+        garbage_reply, metrics_reply = run(main())
+        assert garbage_reply["ok"] is False
+        assert garbage_reply["error"]["code"] == "validation"
+        assert metrics_reply["ok"] is True and metrics_reply["id"] == "m1"
+
+    def test_streaming_over_the_wire(self, socket_path):
+        async def main():
+            async with ServiceServer(PlannerDaemon()) as server:
+                await server.start_unix(socket_path)
+                async with await AsyncServiceClient.connect_unix(
+                    socket_path
+                ) as client:
+                    request = client.plan_batch_request(
+                        [scenario(n=4), scenario(n=8)]
+                    )
+                    return [
+                        chunk
+                        async for chunk in client.request_stream(request)
+                    ]
+
+        chunks = run(main())
+        assert [c.seq for c in chunks] == [0, 1, None]
+        assert chunks[-1].final and chunks[-1].ok
+
+    def test_connect_to_missing_socket_raises_service_unavailable(
+        self, socket_path
+    ):
+        async def main():
+            await AsyncServiceClient.connect_unix(socket_path)
+
+        with pytest.raises(ServiceUnavailable):
+            run(main())
+
+
+class TestSyncClient:
+    def test_blocking_client_over_unix_socket(self, socket_path):
+        async def main():
+            async with ServiceServer(PlannerDaemon()) as server:
+                await server.start_unix(socket_path)
+
+                def sync_calls():
+                    with ServiceClient.connect_unix(socket_path) as client:
+                        planned = client.plan(scenario())
+                        metrics = client.metrics()
+                        streamed = list(
+                            client.request_stream(
+                                client.plan_batch_request(
+                                    [scenario(n=4), scenario(n=8)]
+                                )
+                            )
+                        )
+                        return planned, metrics, streamed
+
+                return await asyncio.get_running_loop().run_in_executor(
+                    None, sync_calls
+                )
+
+        planned, metrics, streamed = run(main())
+        assert planned.ok and metrics.ok
+        assert [c.seq for c in streamed] == [0, 1, None]
+
+    def test_sync_connect_failure(self, tmp_path):
+        with pytest.raises(ServiceUnavailable):
+            ServiceClient.connect_unix(str(tmp_path / "absent.sock"))
+
+
+class TestTcp:
+    def test_tcp_ephemeral_port_roundtrip(self):
+        async def main():
+            async with ServiceServer(PlannerDaemon()) as server:
+                await server.start_tcp("127.0.0.1", 0)
+                port = server.tcp_port
+                assert port
+                async with await AsyncServiceClient.connect_tcp(
+                    "127.0.0.1", port
+                ) as client:
+                    return await client.plan(scenario(n=4))
+
+        assert run(main()).ok
+
+
+class TestServeCli:
+    def test_smoke_subcommand_passes(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["serve", "--smoke", "12", "--workers", "2"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "smoke: OK" in output
+        assert "0 failed" in output
+
+    def test_version_flag(self, capsys):
+        import repro
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -13,7 +13,8 @@ from repro.exceptions import SimulationError
 from repro.flows import ThroughputCache
 from repro.matching import Matching
 from repro.planner import PlanResult, Scenario, plan, scenario_grid
-from repro.sim import SimResult, SimStep, allocate_rates, sim_many, simulate_plan
+from repro.engine import sim_many
+from repro.sim import SimResult, SimStep, allocate_rates, simulate_plan
 from repro.topology import hypercube, ring, torus
 from repro.units import Gbps, KiB, MiB, ns, us
 

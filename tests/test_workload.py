@@ -26,7 +26,8 @@ from repro.fabric.reconfiguration import (
 )
 from repro.flows import ThroughputCache
 from repro.planner import Scenario
-from repro.sim import EventKind, WorkloadSimResult, simulate_workload, workload_many
+from repro.engine import workload_many
+from repro.sim import EventKind, WorkloadSimResult, simulate_workload
 from repro.units import Gbps, MiB, ns, us
 from repro.workload import (
     Workload,

@@ -89,3 +89,118 @@ def test_proxy_driven_optimizer_gap(benchmark, results_dir):
     (results_dir / "theta_proxy_gap.txt").write_text("\n".join(lines) + "\n")
     assert all(g >= 1 - 1e-12 for _, g in gaps)
     assert max(g for _, g in gaps) < 1.5  # proxies stay within 50% here
+
+
+# -- batch-first theta (vectorized kernels, warm-started LP) ----------------
+
+
+def _figure1_grid_rows():
+    """The closed-formable rows of an n=64 figure-style grid: every
+    distinct shift pattern, re-priced across 36 (message, alpha_r)
+    cells the way ``scenario_grid`` replays patterns per cell."""
+    shifts = [Matching.shift(N, k) for k in range(1, N)]
+    return shifts * 36
+
+
+@pytest.mark.benchmark(group="theta-batch")
+def test_theta_batch_vs_scalar_loop(results_dir, bench_record):
+    """Vectorized ``theta_batch`` vs the scalar ``compute_theta`` loop
+    on the closed-formable rows of the n=64 grid.
+
+    Timed manually (best of three) so the comparison records its
+    baseline under ``--benchmark-disable`` smoke mode too.  Both paths
+    run uncached — the compute regime, where vectorization matters; a
+    warm cache serves both identically.
+    """
+    import time
+
+    from repro.flows import theta_batch
+
+    rows = _figure1_grid_rows()
+    scalar_s = batch_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        scalar = [compute_theta(TOPOLOGY, m, method="auto", cache=None) for m in rows]
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        batch = theta_batch(TOPOLOGY, rows, B, cache=None)
+        batch_s = min(batch_s, time.perf_counter() - start)
+    assert all(a == b for a, b in zip(scalar, batch))
+    speedup = scalar_s / batch_s
+    bench_record(
+        grid_rows=len(rows),
+        scalar_loop_s=scalar_s,
+        theta_batch_s=batch_s,
+        vectorized_speedup=speedup,
+    )
+    (results_dir / "theta_batch.txt").write_text(
+        f"n={N} grid, {len(rows)} closed-form rows\n"
+        f"scalar loop: {scalar_s * 1e3:.2f}ms\n"
+        f"theta_batch: {batch_s * 1e3:.2f}ms ({speedup:.1f}x)\n"
+    )
+    assert speedup >= 3.0
+
+
+@pytest.mark.benchmark(group="theta-batch")
+def test_lp_warm_vs_cold(results_dir, bench_record):
+    """Cold LP re-solves vs the warm-started family solver on a
+    degradation sweep: one fabric structure, many capacity states —
+    the planner-under-churn workload the warm solver exists for.
+
+    The recorded ratio is honest for this container: without highspy
+    the warm path's win is matrix-assembly reuse only (scipy re-solves
+    from scratch), so the ratio hovers near 1; with highspy installed
+    the basis-reuse path engages and the ratio is reported by the same
+    metric.
+    """
+    import time
+
+    from repro.fabric.degradation import uniform_degradation
+    from repro.flows import WarmStartLPSolver, commodities_from_matching
+    from repro.flows.concurrent_flow import max_concurrent_flow
+
+    n = 32
+    pristine = ring(n, B)
+    matching = Matching.shift(n, n // 2 - 1)
+    states = [pristine] + [
+        uniform_degradation(n, 1.0 - 0.02 * step).apply(pristine)
+        for step in range(1, 13)
+    ]
+    commodities = commodities_from_matching(matching)
+
+    solver = WarmStartLPSolver()
+    cold_s = warm_s = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        cold = [
+            max_concurrent_flow(state, commodities, B).theta for state in states
+        ]
+        cold_s = min(cold_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = [
+            solver.solve_matching(state, matching, B) for state in states
+        ]
+        warm_s = min(warm_s, time.perf_counter() - start)
+    assert all(
+        c == pytest.approx(w, rel=1e-9) for c, w in zip(cold, warm)
+    )
+    stats = solver.stats()
+    ratio = cold_s / warm_s
+    bench_record(
+        degradation_states=len(states),
+        cold_s=cold_s,
+        warm_s=warm_s,
+        cold_vs_warm_speedup=ratio,
+        warm_solves=stats.warm_solves,
+        basis_reuses=stats.basis_reuses,
+        highs_enabled=solver.highs_enabled,
+    )
+    (results_dir / "theta_warm_lp.txt").write_text(
+        f"n={n} ring, {len(states)} degradation states\n"
+        f"cold LP: {cold_s * 1e3:.2f}ms\n"
+        f"warm LP: {warm_s * 1e3:.2f}ms ({ratio:.2f}x, "
+        f"highs_enabled={solver.highs_enabled})\n"
+    )
+    # The warm path must never be pathologically slower than cold.
+    assert ratio > 0.4
+    assert stats.warm_solves >= len(states) * 2 - 2

@@ -1,0 +1,124 @@
+"""Perf-regression gate over the BENCH_*.json baselines.
+
+Compares a fresh benchmark run (``benchmarks/results/``, written by
+``--bench-json``) against the checked-in baselines
+(``benchmarks/baselines/``) and fails if any case regressed by more
+than the threshold *after* normalizing out machine speed.
+
+Absolute wall times are not comparable across machines (the baselines
+were recorded on one box, CI runs on another), so the gate first
+estimates a machine-speed factor: the **median** of the per-case
+``fresh / baseline`` time ratios of a benchmark file.  A uniformly
+slower machine moves every ratio together and the median absorbs it; a
+real regression moves one case against its siblings and survives the
+normalization.  Files with fewer than three shared cases skip the
+median trick and fall back to a generous absolute ratio (the threshold
+plus 2x machine headroom) rather than produce false alarms.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--baseline benchmarks/baselines] [--fresh benchmarks/results] \
+        [--threshold 0.25]
+
+Exit status 1 when any case regresses; the offending cases are listed
+on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Headroom multiplier for files too small to median-normalize.
+SMALL_FILE_HEADROOM = 2.0
+
+
+def load_cases(path: Path) -> dict[str, float]:
+    """Case name -> mean wall seconds from one BENCH_*.json file."""
+    data = json.loads(path.read_text())
+    return {
+        case: float(entry["mean_s"])
+        for case, entry in data.get("cases", {}).items()
+        if entry.get("mean_s", 0) > 0
+    }
+
+
+def check_file(
+    baseline_path: Path, fresh_path: Path, threshold: float
+) -> list[str]:
+    """Regression messages for one benchmark file (empty = clean)."""
+    baseline = load_cases(baseline_path)
+    fresh = load_cases(fresh_path)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        return [f"{fresh_path.name}: no cases shared with the baseline"]
+    ratios = {case: fresh[case] / baseline[case] for case in shared}
+    if len(shared) >= 3:
+        machine = statistics.median(ratios.values())
+        limit = 1.0 + threshold
+    else:
+        machine = 1.0
+        limit = (1.0 + threshold) * SMALL_FILE_HEADROOM
+    problems = []
+    for case in shared:
+        normalized = ratios[case] / machine
+        if normalized > limit:
+            problems.append(
+                f"{fresh_path.name}::{case}: {normalized:.2f}x baseline "
+                f"(raw {ratios[case]:.2f}x, machine factor {machine:.2f}x, "
+                f"limit {limit:.2f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root = Path(__file__).parent
+    parser.add_argument(
+        "--baseline", type=Path, default=root / "baselines",
+        help="directory of checked-in BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, default=root / "results",
+        help="directory of freshly recorded BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed relative regression after machine normalization",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {args.baseline}", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    checked = 0
+    for baseline_path in baselines:
+        fresh_path = args.fresh / baseline_path.name
+        if not fresh_path.exists():
+            problems.append(
+                f"{baseline_path.name}: baseline exists but the fresh run "
+                f"produced no file (bench module missing or renamed?)"
+            )
+            continue
+        problems.extend(check_file(baseline_path, fresh_path, args.threshold))
+        checked += 1
+    if problems:
+        print("perf regression gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"perf regression gate OK: {checked} benchmark file(s), "
+        f"threshold {args.threshold:.0%} (median-normalized)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

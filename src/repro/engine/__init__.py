@@ -10,9 +10,11 @@ subsystem owns the whole evaluation path:
 
 * **Throughput backends** (:mod:`~repro.engine.backends`) — a registry
   of theta estimators: ``exact-lp`` (HiGHS ground truth),
-  ``closed-form`` (formula fast paths with LP fallback), and
-  ``bounds`` (the cheap :class:`ThetaEnvelope` sandwich for coarse
-  grid pre-screening before exact refinement).
+  ``exact-lp-warm`` (the same LP through the warm-started family
+  solver), ``closed-form`` (formula fast paths with LP fallback and a
+  vectorized ``theta_many`` grid pass), and ``bounds`` (the cheap
+  :class:`ThetaEnvelope` sandwich for coarse grid pre-screening before
+  exact refinement).
 * **Two-tier caching** (:mod:`~repro.engine.store` plus
   :class:`repro.flows.ThroughputCache`) — the in-process compute-once
   memo backed by a content-addressed on-disk :class:`DiskStore`
@@ -39,8 +41,10 @@ from .backends import (
     ExactLPBackend,
     ThetaEnvelope,
     ThroughputBackend,
+    WarmStartLPBackend,
     available_throughput_backends,
     compute_theta_backend,
+    compute_theta_backend_many,
     get_throughput_backend,
     register_throughput_backend,
     scenario_theta_method,
@@ -64,6 +68,7 @@ __all__ = [
     # throughput backends
     "ThroughputBackend",
     "ExactLPBackend",
+    "WarmStartLPBackend",
     "ClosedFormBackend",
     "BoundsBackend",
     "ThetaEnvelope",
@@ -72,6 +77,7 @@ __all__ = [
     "available_throughput_backends",
     "get_throughput_backend",
     "compute_theta_backend",
+    "compute_theta_backend_many",
     "theta_envelope",
     "scenario_theta_method",
     # caching

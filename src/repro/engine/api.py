@@ -33,7 +33,7 @@ from collections.abc import Iterable
 from ..exceptions import ConfigurationError, SimulationError
 from ..flows import ThroughputCache, default_cache
 from .backends import scenario_theta_method
-from .parallel import execute_batch
+from .parallel import execute_batch, resolve_execution_backend
 from .store import activate_disk_cache
 
 __all__ = ["plan_many", "sim_many", "workload_many", "plan_workload_many"]
@@ -74,6 +74,68 @@ def _workload_affinity(workload):
     return tuple(
         dict.fromkeys(_theta_affinity(phase) for phase in workload.phases)
     )
+
+
+def _prewarm_plan_batch(requests, cache) -> int:
+    """Seed the cache with every closed-formable step theta of a batch.
+
+    Grid scenarios overwhelmingly share topologies and step patterns;
+    one vectorized pass per affinity group
+    (:func:`repro.flows.prewarm_closed_forms`) prices them all before
+    the per-step scalar lookups begin, so the planner's inner loop runs
+    entirely on cache hits.  Each seeded value takes exactly the miss
+    the step evaluation would have taken — same keys, same tags, same
+    statistics.  Only pristine ``theta_method="auto"`` single-port
+    scenarios qualify: degraded fabrics have no closed form (their
+    family metadata is dropped on purpose) and multiport steps are
+    grouped differently.  Returns the number of seeded values.
+    """
+    from ..flows import prewarm_closed_forms
+
+    seeded = 0
+    seen_groups: set = set()
+    for request in requests:
+        scenario = request.scenario
+        if (
+            scenario.theta_method != "auto"
+            or scenario.multiport_radix is not None
+            or scenario.health is not None
+        ):
+            continue
+        group = _theta_affinity(scenario) + (scenario.cost.bandwidth,)
+        if group in seen_groups:
+            continue
+        seen_groups.add(group)
+        try:
+            topology = scenario.build_topology()
+            matchings = []
+            seen_matchings: set = set()
+            for step in scenario.build_collective().steps:
+                matching = step.matching
+                if (
+                    len(matching) == 0
+                    or matching in seen_matchings
+                    or not topology.supports(matching)
+                ):
+                    # The scalar path never prices these (empty steps
+                    # are inf, unsupported ones 0.0, without a cache
+                    # entry) — seeding them would skew statistics.
+                    continue
+                seen_matchings.add(matching)
+                matchings.append(matching)
+            if len(matchings) < 2:
+                continue
+            seeded += prewarm_closed_forms(
+                topology,
+                matchings,
+                reference_rate=scenario.cost.bandwidth,
+                cache=cache,
+            )
+        except Exception:
+            # Malformed scenarios surface their real error through the
+            # normal planning path, not the opportunistic prewarm.
+            continue
+    return seeded
 
 
 def _route_theta_backend(item, theta_backend: str | None):
@@ -164,6 +226,14 @@ def plan_many(
         else PlanRequest(scenario=item, solver=solver, options=frozen)
         for item in requests
     ]
+    backend, _ = resolve_execution_backend(
+        parallel_backend, parallel, len(requests), error=ConfigurationError
+    )
+    if cache is not None and backend != "process":
+        # Process batches do their theta work in the workers (the
+        # parent cache takes no misses); everything else gets the
+        # vectorized closed-form prewarm.
+        _prewarm_plan_batch(requests, cache)
     return execute_batch(
         lambda request: plan(request, cache=cache),
         requests,

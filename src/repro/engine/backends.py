@@ -9,12 +9,21 @@ name       answers with
 ========== ===========================================================
 exact-lp   the HiGHS maximum-concurrent-flow LP
            (:func:`repro.flows.max_concurrent_flow`) — ground truth.
+exact-lp-warm the same exact LP through the shared
+           :class:`~repro.flows.WarmStartLPSolver`: constraint
+           assembly is cached per structural family (degraded fabrics
+           and adjacent workload phases are perturbations of a solved
+           LP) and, with the optional ``highspy`` extra installed,
+           re-solves hot-start from the previous optimal basis.
+           Identical values to ``exact-lp``.
 closed-form the exact closed forms of :mod:`repro.flows.closed_forms`
            when the (topology, pattern) pair has one (uniform shifts
            on rings, XOR exchanges on hypercubes, dedicated matched
            circuits), falling back to the LP otherwise.  Same values
            as ``exact-lp`` (the test suite pins agreement at 1e-9),
            orders of magnitude cheaper where a formula applies.
+           ``theta_many`` prices whole grids in one vectorized pass
+           (:func:`repro.flows.theta_batch`).
 bounds     the cheap sandwich from :mod:`repro.flows.bounds` — the
            shortest-path feasible lower bound and the degree/flow-hop
            proxy upper bound — as a :class:`ThetaEnvelope`.  For
@@ -34,8 +43,10 @@ import math
 import threading
 from dataclasses import dataclass
 
+from collections.abc import Sequence
+
 from ..exceptions import ConfigurationError, FlowError
-from ..flows import ThroughputCache, compute_theta, default_cache
+from ..flows import ThroughputCache, compute_theta, default_cache, theta_batch
 from ..matching import Matching
 from ..topology.base import Topology
 
@@ -43,6 +54,7 @@ __all__ = [
     "ThetaEnvelope",
     "ThroughputBackend",
     "ExactLPBackend",
+    "WarmStartLPBackend",
     "ClosedFormBackend",
     "BoundsBackend",
     "register_throughput_backend",
@@ -50,6 +62,7 @@ __all__ = [
     "available_throughput_backends",
     "get_throughput_backend",
     "compute_theta_backend",
+    "compute_theta_backend_many",
     "theta_envelope",
     "scenario_theta_method",
 ]
@@ -103,6 +116,30 @@ class ThroughputBackend:
     ) -> float:
         raise NotImplementedError  # pragma: no cover
 
+    def theta_many(
+        self,
+        topologies: "Topology | Sequence[Topology]",
+        matchings: Sequence[Matching],
+        reference_rate: "float | Sequence[float] | None" = None,
+        cache: ThroughputCache | None = default_cache,
+    ) -> list[float]:
+        """Evaluate a whole grid of rows; override for batch kernels.
+
+        The base implementation is the scalar loop; backends with a
+        vectorized path (the closed forms) override it.  ``topologies``
+        may be one topology shared by every row.
+        """
+        if isinstance(topologies, Topology):
+            topologies = [topologies] * len(matchings)
+        if reference_rate is None or isinstance(reference_rate, (int, float)):
+            rates = [reference_rate] * len(matchings)
+        else:
+            rates = list(reference_rate)
+        return [
+            self.theta(topology, matching, rate, cache)
+            for topology, matching, rate in zip(topologies, matchings, rates)
+        ]
+
 
 class ExactLPBackend(ThroughputBackend):
     """Ground truth: always solve the maximum-concurrent-flow LP."""
@@ -116,6 +153,25 @@ class ExactLPBackend(ThroughputBackend):
         )
 
 
+class WarmStartLPBackend(ThroughputBackend):
+    """Exact LP with per-family assembly reuse and optional hot basis.
+
+    Routes through the process-wide :class:`~repro.flows.WarmStartLPSolver`
+    (``method="lp-warm"``).  Values are identical to ``exact-lp``; only
+    the amortization differs, so this is the backend of choice for
+    degraded-fabric sweeps and multi-phase workloads that solve many
+    close LP relatives.
+    """
+
+    name = "exact-lp-warm"
+    scenario_method = "lp-warm"
+
+    def theta(self, topology, matching, reference_rate=None, cache=default_cache):
+        return compute_theta(
+            topology, matching, reference_rate, method="lp-warm", cache=cache
+        )
+
+
 class ClosedFormBackend(ThroughputBackend):
     """Closed form when a formula exists, exact LP otherwise."""
 
@@ -126,6 +182,15 @@ class ClosedFormBackend(ThroughputBackend):
         return compute_theta(
             topology, matching, reference_rate, method="auto", cache=cache
         )
+
+    def theta_many(
+        self, topologies, matchings, reference_rate=None, cache=default_cache
+    ):
+        """One vectorized pass per distinct topology in the grid."""
+        values = theta_batch(
+            topologies, matchings, reference_rate, method="auto", cache=cache
+        )
+        return [float(v) for v in values]
 
 
 class BoundsBackend(ThroughputBackend):
@@ -224,6 +289,19 @@ def compute_theta_backend(
     )
 
 
+def compute_theta_backend_many(
+    topologies: "Topology | Sequence[Topology]",
+    matchings: Sequence[Matching],
+    reference_rate: "float | Sequence[float] | None" = None,
+    backend: str = "closed-form",
+    cache: ThroughputCache | None = default_cache,
+) -> list[float]:
+    """Evaluate a whole grid through a named backend's batch path."""
+    return get_throughput_backend(backend).theta_many(
+        topologies, matchings, reference_rate, cache
+    )
+
+
 def theta_envelope(
     topology: Topology,
     matching: Matching,
@@ -257,6 +335,7 @@ def scenario_theta_method(backend: str) -> str:
 def register_builtin_backends(overwrite: bool = False) -> None:
     """Install the built-in backend set into the registry."""
     register_throughput_backend(ExactLPBackend(), overwrite=overwrite)
+    register_throughput_backend(WarmStartLPBackend(), overwrite=overwrite)
     register_throughput_backend(ClosedFormBackend(), overwrite=overwrite)
     register_throughput_backend(BoundsBackend(), overwrite=overwrite)
 

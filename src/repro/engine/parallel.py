@@ -16,7 +16,11 @@ accept ``parallel_backend="serial" | "thread" | "process"``:
   worker's cache delta is merged back into the caller's cache.  This
   breaks the GIL ceiling at the cost of result round-trips through
   ``to_dict`` — event traces, which are deliberately not serialized,
-  come back empty.
+  come back empty.  Item payloads travel through one shared-memory
+  segment per batch (each chunk submission carries only byte spans),
+  not through the pool's pickle pipe; when the platform denies shared
+  memory the batch quietly falls back to inline payloads with
+  identical results.
 
 Results always come back in input order, and every item is a pure
 function of its inputs, so all three backends are bit-identical on the
@@ -146,6 +150,39 @@ def _resolve_store_dir(cache) -> tuple[str | None, str | None, bool]:
     return tempfile.mkdtemp(prefix="repro-theta-"), None, True
 
 
+def _ship_payloads(payloads: list) -> tuple:
+    """Pack pickled payloads into one shared-memory segment.
+
+    Returns ``(segment, spans)`` where ``spans[i]`` is the
+    ``(offset, length)`` of item ``i``'s pickle inside the segment, or
+    ``(None, None)`` when shared memory is unavailable (the caller then
+    ships payloads inline through the pool pipe — same results, more
+    copying).
+    """
+    import pickle
+
+    blobs = [
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        for payload in payloads
+    ]
+    spans = []
+    offset = 0
+    for blob in blobs:
+        spans.append((offset, len(blob)))
+        offset += len(blob)
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    except Exception:
+        return None, None
+    position = 0
+    for blob in blobs:
+        segment.buf[position : position + len(blob)] = blob
+        position += len(blob)
+    return segment, spans
+
+
 def execute_batch(
     run_one: Callable,
     items: Sequence,
@@ -209,22 +246,36 @@ def execute_batch(
     delta: list = []
     done = [False] * len(items)
     emitted = 0
+    payloads = [make_payload(item) for item in items]
+    segment, spans = _ship_payloads(payloads)
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=tasks.init_worker,
             initargs=(store_dir, store_filename),
         ) as executor:
-            futures = [
-                executor.submit(
-                    tasks.run_chunk,
-                    [
-                        (task_name, make_payload(items[index]), task_kwargs)
-                        for index in chunk
-                    ],
-                )
-                for chunk in chunks
-            ]
+            if segment is not None:
+                futures = [
+                    executor.submit(
+                        tasks.run_chunk_shm,
+                        segment.name,
+                        task_name,
+                        task_kwargs,
+                        [spans[index] for index in chunk],
+                    )
+                    for chunk in chunks
+                ]
+            else:
+                futures = [
+                    executor.submit(
+                        tasks.run_chunk,
+                        [
+                            (task_name, payloads[index], task_kwargs)
+                            for index in chunk
+                        ],
+                    )
+                    for chunk in chunks
+                ]
             for chunk, future in zip(chunks, futures):
                 datas, chunk_delta = future.result()
                 delta.extend(chunk_delta)
@@ -242,6 +293,15 @@ def execute_batch(
                     on_result(emitted, results[emitted])
                     emitted += 1
     finally:
+        # The executor context has exited (workers are gone), so the
+        # segment can be unlinked without yanking mappings from under
+        # a live chunk.
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
         if transient and store_dir:
             shutil.rmtree(store_dir, ignore_errors=True)
     if cache is not None and delta:

@@ -22,9 +22,22 @@ orchestrates.
 
 from __future__ import annotations
 
-__all__ = ["init_worker", "worker_cache", "run_task", "run_chunk", "TASK_NAMES"]
+__all__ = [
+    "init_worker",
+    "worker_cache",
+    "run_task",
+    "run_chunk",
+    "run_chunk_shm",
+    "TASK_NAMES",
+]
 
 _WORKER_CACHE = None
+
+#: Shared-memory segments this worker has attached, by name.  A batch
+#: ships all payloads in one segment; each worker attaches it on first
+#: touch and keeps it mapped for the pool's lifetime (workers die with
+#: the executor, the parent unlinks the segment afterwards).
+_SHM_SEGMENTS: dict = {}
 
 
 def init_worker(store_dir: str | None, store_filename: str | None = None) -> None:
@@ -162,6 +175,44 @@ def run_chunk(work: list[tuple[str, dict, dict]]) -> tuple[list[dict], list]:
     delta: list = []
     for item in work:
         data, item_delta = run_task(item)
+        datas.append(data)
+        delta.extend(item_delta)
+    return datas, delta
+
+
+def _attach_segment(name: str):
+    segment = _SHM_SEGMENTS.get(name)
+    if segment is None:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        _SHM_SEGMENTS[name] = segment
+    return segment
+
+
+def run_chunk_shm(
+    shm_name: str,
+    task_name: str,
+    task_kwargs: dict,
+    spans: list[tuple[int, int]],
+) -> tuple[list[dict], list]:
+    """Dispatch a chunk whose payloads live in a shared-memory segment.
+
+    The parent pickles every item payload into one
+    :class:`multiprocessing.shared_memory.SharedMemory` blob and ships
+    only ``(offset, length)`` spans per chunk, so the pool's task queue
+    stops copying the (large, highly redundant) scenario dicts through
+    a pipe per chunk.  ``task_name`` and ``task_kwargs`` are shared by
+    the whole batch and still travel by pickle — they are tiny.
+    """
+    import pickle
+
+    segment = _attach_segment(shm_name)
+    datas: list[dict] = []
+    delta: list = []
+    for offset, length in spans:
+        payload = pickle.loads(bytes(segment.buf[offset : offset + length]))
+        data, item_delta = _TASKS[task_name](payload, task_kwargs)
         datas.append(data)
         delta.extend(item_delta)
     return datas, delta

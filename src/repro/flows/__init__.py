@@ -28,8 +28,11 @@ from .closed_forms import detect_uniform_shift, ring_shift_theta, try_closed_for
 from .concurrent_flow import (
     Commodity,
     ConcurrentFlowResult,
+    WarmStartLPSolver,
+    WarmStartStats,
     commodities_from_matching,
     commodities_from_matrix,
+    default_warm_solver,
     max_concurrent_flow,
 )
 from .routing import (
@@ -66,9 +69,14 @@ __all__ = [
     "ThroughputCache",
     "default_cache",
     "theta_key_digest",
+    "WarmStartLPSolver",
+    "WarmStartStats",
+    "default_warm_solver",
+    "theta_batch",
+    "prewarm_closed_forms",
 ]
 
-_METHODS = ("auto", "lp", "closed", "sp", "proxy")
+_METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy")
 
 
 def compute_theta(
@@ -92,6 +100,9 @@ def compute_theta(
     method:
         * ``"auto"`` — closed form when available, else exact LP;
         * ``"lp"`` — always the exact LP;
+        * ``"lp-warm"`` — exact LP via the shared
+          :class:`WarmStartLPSolver` (same values, amortized assembly
+          and optional basis reuse across related solves);
         * ``"closed"`` — closed form only (raises if unavailable);
         * ``"sp"`` — shortest-path feasible-routing lower bound;
         * ``"proxy"`` — degree/flow-hop upper-bound proxy.
@@ -129,6 +140,10 @@ def compute_theta(
             if value is not None:
                 return value
         commodities = commodities_from_matching(matching)
+        if method == "lp-warm":
+            return default_warm_solver().solve(
+                topology, commodities, reference_rate
+            ).theta
         return max_concurrent_flow(topology, commodities, reference_rate).theta
 
     if cache is None:
@@ -140,3 +155,8 @@ def compute_theta(
     return cache.get_or_compute(
         topology, matching, evaluate, tag=f"theta:{method}@{reference_rate!r}"
     )
+
+
+# Imported last: the batch front door resolves compute_theta lazily for
+# its per-row fallback, so this must follow the definition above.
+from .batch import prewarm_closed_forms, theta_batch  # noqa: E402

@@ -136,6 +136,17 @@ class Matching:
         """Sorted tuple of ``(src, dst)`` pairs."""
         return self._pairs
 
+    @cached_property
+    def dst_row(self) -> np.ndarray:
+        """Read-only ``(n,)`` int64 array with ``row[src] = dst`` and
+        ``-1`` for idle ranks — the packed form the vectorized
+        closed-form kernels stack, materialized once per matching."""
+        row = np.full(self._n, -1, dtype=np.int64)
+        for src, dst in self._pairs:
+            row[src] = dst
+        row.setflags(write=False)
+        return row
+
     def __len__(self) -> int:
         return len(self._pairs)
 

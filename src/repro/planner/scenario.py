@@ -71,7 +71,7 @@ def canonical_digest(tag: str, payload: object) -> str:
 
 Options = tuple[tuple[str, object], ...]
 
-_THETA_METHODS = ("auto", "lp", "closed", "sp", "proxy")
+_THETA_METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy")
 
 
 def _freeze_options(options: object) -> Options:

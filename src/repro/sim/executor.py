@@ -342,7 +342,7 @@ def _should_check_model(
         planned.cost is not None
         and rate_method == "mcf"
         and accounting == "paper"
-        and scenario.theta_method in ("auto", "lp", "closed")
+        and scenario.theta_method in ("auto", "lp", "lp-warm", "closed")
         and not compute_overlap
         and "compute_times" not in planned.metadata_dict
         and not math.isinf(planned.total_time)

@@ -192,6 +192,7 @@ def _should_check_phase(scenario, rate_method: str) -> bool:
     return rate_method == "mcf" and scenario.theta_method in (
         "auto",
         "lp",
+        "lp-warm",
         "closed",
     )
 

@@ -235,3 +235,86 @@ class TestThetaBackendRouting:
         )
         with pytest.raises(ConfigurationError, match="envelopes"):
             plan_many([base], theta_backend="bounds", cache=None)
+
+
+EXACT_BACKENDS = ("closed-form", "exact-lp", "exact-lp-warm")
+
+
+class TestBackendEdgeCases:
+    """Equivalence at the corners every registered backend must share:
+    empty matchings, single-node fabrics, fully-failed ports, and
+    reference-rate extremes."""
+
+    @pytest.mark.parametrize("backend", available_throughput_backends())
+    def test_empty_matching_is_infinite_everywhere(self, backend):
+        topology = ring(8, B)
+        value = compute_theta_backend(
+            topology, Matching(8, []), B, backend=backend, cache=None
+        )
+        assert math.isinf(value) and value > 0
+
+    @pytest.mark.parametrize("backend", available_throughput_backends())
+    def test_single_node_topology_has_nothing_to_route(self, backend):
+        from repro.topology import Topology
+
+        single = Topology(1, [], name="single")
+        value = compute_theta_backend(
+            single, Matching(1, []), B, backend=backend, cache=None
+        )
+        assert math.isinf(value)
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_fully_failed_ports_zero_out_theta(self, backend):
+        from repro.fabric import FabricHealth
+
+        n = 4
+        lanes = tuple((r, (r + 1) % n) for r in range(n))
+        dead = FabricHealth(
+            failed_transceivers=lanes + tuple((b, a) for a, b in lanes),
+            name="dead-fabric",
+        )
+        topology = dead.apply(ring(n, B))
+        assert topology.num_edges == 0
+        value = compute_theta_backend(
+            topology, Matching.shift(n, 1), B, backend=backend, cache=None
+        )
+        assert value == 0.0
+
+    @pytest.mark.parametrize("rate", [1e-6, 1.0, 1e12])
+    def test_reference_rate_corners_agree_across_exact_backends(self, rate):
+        # Closed forms normalize by the rate the fabric was built with,
+        # so the corner contract is stated at matched build/reference
+        # rates — tiny, unit, and huge.
+        topology = ring(8, rate)
+        matching = Matching.shift(8, 1)
+        values = [
+            compute_theta_backend(
+                topology, matching, rate, backend=backend, cache=None
+            )
+            for backend in EXACT_BACKENDS
+        ]
+        assert all(
+            math.isclose(v, values[0], rel_tol=RTOL, abs_tol=0.0)
+            for v in values
+        ), values
+        # The envelope still brackets the exact value at every corner.
+        upper = compute_theta_backend(
+            topology, matching, rate, backend="bounds", cache=None
+        )
+        assert upper >= values[0] - RTOL
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_theta_many_handles_empty_and_mixed_rows(self, backend):
+        from repro.engine import compute_theta_backend_many
+
+        topology = ring(8, B)
+        rows = [Matching(8, []), Matching.shift(8, 1), Matching(8, [(0, 5)])]
+        values = compute_theta_backend_many(
+            topology, rows, B, backend=backend, cache=None
+        )
+        assert math.isinf(values[0])
+        for matching, value in zip(rows[1:], values[1:]):
+            reference = compute_theta_backend(
+                topology, matching, B, backend="exact-lp", cache=None
+            )
+            assert math.isclose(value, reference, rel_tol=RTOL, abs_tol=RTOL)

@@ -65,6 +65,7 @@ def _sim_dict(result):
     return data
 
 
+@pytest.mark.slow
 class TestProcessDeterminism:
     def test_plan_many_process_bit_identical_to_serial(self):
         grid = small_grid()
@@ -246,6 +247,7 @@ class TestBackendResolution:
             workload_many([], parallel=0)
 
 
+@pytest.mark.slow
 class TestWarmDiskCacheZeroSolves:
     N = 16
 

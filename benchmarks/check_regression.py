@@ -15,6 +15,17 @@ normalization.  Files with fewer than three shared cases skip the
 median trick and fall back to a generous absolute ratio (the threshold
 plus 2x machine headroom) rather than produce false alarms.
 
+Baselines can additionally be **CPU-tagged**: a file named
+``BENCH_<name>.cpu<K>.json`` is the baseline recorded on a K-CPU
+machine.  For each fresh file the gate reads the recording machine's
+CPU count (the ``machine.cpu_count`` field ``--bench-json`` writes,
+falling back to ``os.cpu_count()``) and prefers the matching tagged
+baseline; when no tag matches it falls back — with a warning — to the
+untagged ``BENCH_<name>.json``, or failing that to the nearest tagged
+one.  Parallel-speedup cases (thread pools, process pools) scale with
+cores, so comparing them against a baseline from a like-for-like
+machine removes a whole class of false alarms the median trick cannot.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -29,12 +40,65 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import statistics
 import sys
 from pathlib import Path
 
 #: Headroom multiplier for files too small to median-normalize.
 SMALL_FILE_HEADROOM = 2.0
+
+#: ``BENCH_<name>.cpu<K>.json`` — a baseline tagged with its machine's
+#: CPU count.
+_CPU_TAG = re.compile(r"^(BENCH_.+?)\.cpu(\d+)\.json$")
+
+
+def split_cpu_tag(path: Path) -> tuple[str, int | None]:
+    """(logical ``BENCH_<name>.json`` name, CPU tag or ``None``)."""
+    match = _CPU_TAG.match(path.name)
+    if match:
+        return f"{match.group(1)}.json", int(match.group(2))
+    return path.name, None
+
+
+def fresh_cpu_count(fresh_path: Path) -> int:
+    """The CPU count the fresh run recorded (``os.cpu_count()`` fallback)."""
+    try:
+        recorded = json.loads(fresh_path.read_text())["machine"]["cpu_count"]
+        return int(recorded)
+    except (KeyError, TypeError, ValueError, OSError):
+        return os.cpu_count() or 1
+
+
+def select_baseline(
+    variants: dict[int | None, Path], cpus: int
+) -> tuple[Path, str | None]:
+    """Pick the baseline variant for a machine; (path, warning or None).
+
+    Preference: exact CPU tag > untagged > nearest tag (always with a
+    warning once the exact tag misses).
+    """
+    exact = variants.get(cpus)
+    if exact is not None:
+        return exact, None
+    untagged = variants.get(None)
+    if untagged is not None:
+        tags = sorted(k for k in variants if k is not None)
+        if tags:
+            return untagged, (
+                f"no cpu{cpus} baseline (tags: {tags}); "
+                f"falling back to the untagged baseline"
+            )
+        return untagged, None
+    nearest = min(
+        (k for k in variants if k is not None),
+        key=lambda k: abs(k - cpus),
+    )
+    return variants[nearest], (
+        f"no cpu{cpus} or untagged baseline; "
+        f"falling back to cpu{nearest} (nearest tag)"
+    )
 
 
 def load_cases(path: Path) -> dict[str, float]:
@@ -92,20 +156,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baselines = sorted(args.baseline.glob("BENCH_*.json"))
-    if not baselines:
+    # Group baseline files by logical name; tagged variants
+    # (BENCH_<name>.cpu<K>.json) collapse onto one logical baseline.
+    grouped: dict[str, dict[int | None, Path]] = {}
+    for path in sorted(args.baseline.glob("BENCH_*.json")):
+        logical, tag = split_cpu_tag(path)
+        grouped.setdefault(logical, {})[tag] = path
+    if not grouped:
         print(f"no baselines under {args.baseline}", file=sys.stderr)
         return 1
     problems: list[str] = []
     checked = 0
-    for baseline_path in baselines:
-        fresh_path = args.fresh / baseline_path.name
+    for logical, variants in sorted(grouped.items()):
+        fresh_path = args.fresh / logical
         if not fresh_path.exists():
             problems.append(
-                f"{baseline_path.name}: baseline exists but the fresh run "
+                f"{logical}: baseline exists but the fresh run "
                 f"produced no file (bench module missing or renamed?)"
             )
             continue
+        baseline_path, warning = select_baseline(
+            variants, fresh_cpu_count(fresh_path)
+        )
+        if warning:
+            print(f"warning: {logical}: {warning}", file=sys.stderr)
         problems.extend(check_file(baseline_path, fresh_path, args.threshold))
         checked += 1
     if problems:

@@ -19,6 +19,7 @@ per case, which is exactly the smoke-mode baseline CI records.
 from __future__ import annotations
 
 import json
+import os
 import statistics
 from pathlib import Path
 
@@ -70,7 +71,13 @@ def pytest_sessionfinish(session, exitstatus):
             }
             for case, values in sorted(_DURATIONS.get(module, {}).items())
         }
-        data: dict[str, object] = {"benchmark": name, "cases": cases}
+        data: dict[str, object] = {
+            "benchmark": name,
+            # Machine tag: check_regression.py matches CPU-tagged
+            # baselines (BENCH_<name>.cpu<K>.json) against this.
+            "machine": {"cpu_count": os.cpu_count() or 1},
+            "cases": cases,
+        }
         extra = _EXTRA.get(module)
         if extra:
             data["extra"] = extra

@@ -36,6 +36,7 @@ compatibility shims with the same names.
 
 from .api import plan_many, plan_workload_many, sim_many, workload_many
 from .backends import (
+    BlockLPBackend,
     BoundsBackend,
     ClosedFormBackend,
     ExactLPBackend,
@@ -71,6 +72,7 @@ __all__ = [
     "WarmStartLPBackend",
     "ClosedFormBackend",
     "BoundsBackend",
+    "BlockLPBackend",
     "ThetaEnvelope",
     "register_throughput_backend",
     "unregister_throughput_backend",

@@ -29,6 +29,13 @@ bounds     the cheap sandwich from :mod:`repro.flows.bounds` — the
            proxy upper bound — as a :class:`ThetaEnvelope`.  For
            coarse pre-screening of large grids before exact
            refinement; ``theta()`` returns the optimistic upper edge.
+block-lp   the exact blockwise decomposition for pod fabrics
+           (:func:`repro.flows.pod_theta`): one small LP per distinct
+           pod subproblem plus a coarse inter-pod LP, screened by the
+           bounds sandwich.  Equal to ``exact-lp`` at 1e-9 on
+           pod-structured topologies (the n=128 golden fixture pins
+           it) and falls back to the flat LP on others; the theta
+           route that breaks the n=256 scale ceiling.
 ========== ===========================================================
 
 Backends share the two-tier :class:`~repro.flows.ThroughputCache`
@@ -57,6 +64,7 @@ __all__ = [
     "WarmStartLPBackend",
     "ClosedFormBackend",
     "BoundsBackend",
+    "BlockLPBackend",
     "register_throughput_backend",
     "unregister_throughput_backend",
     "available_throughput_backends",
@@ -189,6 +197,37 @@ class ClosedFormBackend(ThroughputBackend):
         """One vectorized pass per distinct topology in the grid."""
         values = theta_batch(
             topologies, matchings, reference_rate, method="auto", cache=cache
+        )
+        return [float(v) for v in values]
+
+
+class BlockLPBackend(ThroughputBackend):
+    """Exact blockwise theta for pod fabrics; flat-LP fallback otherwise.
+
+    Routes through ``method="block"``
+    (:func:`repro.flows.pod_theta`): pod-structured topologies are
+    decomposed into per-pod LPs plus a coarse inter-pod stitch, with
+    bounds screening and process-wide subproblem dedup.  On a uniform
+    pattern an n=1024 fabric of 16 equal pods prices with two small
+    LPs.  ``theta_many`` batches through
+    :func:`repro.flows.theta_batch`, which additionally prices
+    duplicate rows once per group — the route ``plan_many`` takes for
+    pod-structured grids under ``theta_backend="block-lp"``.
+    """
+
+    name = "block-lp"
+    scenario_method = "block"
+
+    def theta(self, topology, matching, reference_rate=None, cache=default_cache):
+        return compute_theta(
+            topology, matching, reference_rate, method="block", cache=cache
+        )
+
+    def theta_many(
+        self, topologies, matchings, reference_rate=None, cache=default_cache
+    ):
+        values = theta_batch(
+            topologies, matchings, reference_rate, method="block", cache=cache
         )
         return [float(v) for v in values]
 
@@ -338,6 +377,7 @@ def register_builtin_backends(overwrite: bool = False) -> None:
     register_throughput_backend(WarmStartLPBackend(), overwrite=overwrite)
     register_throughput_backend(ClosedFormBackend(), overwrite=overwrite)
     register_throughput_backend(BoundsBackend(), overwrite=overwrite)
+    register_throughput_backend(BlockLPBackend(), overwrite=overwrite)
 
 
 register_builtin_backends()

@@ -267,6 +267,11 @@ class FabricHealth:
             metadata["reference_rate"] = base_meta["reference_rate"]
         if "family" in base_meta:
             metadata["base_family"] = base_meta["family"]
+        # Pod structure survives degradation: the block decomposition
+        # (repro.flows.block) is exact on any capacities, so a degraded
+        # pod fabric must keep routing through the block path.
+        if "pods" in base_meta:
+            metadata["pods"] = base_meta["pods"]
         label = self.name or "degraded"
         return Topology(
             topology.n_ranks,

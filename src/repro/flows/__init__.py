@@ -11,6 +11,13 @@ from __future__ import annotations
 from ..exceptions import FlowError
 from ..matching import Matching
 from ..topology.base import Topology
+from .block import (
+    BlockStats,
+    block_stats,
+    pod_structure,
+    pod_theta,
+    reset_block_stats,
+)
 from .bounds import (
     theta_lower_bound_shortest_path,
     theta_proxy,
@@ -74,9 +81,14 @@ __all__ = [
     "default_warm_solver",
     "theta_batch",
     "prewarm_closed_forms",
+    "pod_theta",
+    "pod_structure",
+    "BlockStats",
+    "block_stats",
+    "reset_block_stats",
 ]
 
-_METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy")
+_METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy", "block")
 
 
 def compute_theta(
@@ -105,7 +117,12 @@ def compute_theta(
           and optional basis reuse across related solves);
         * ``"closed"`` — closed form only (raises if unavailable);
         * ``"sp"`` — shortest-path feasible-routing lower bound;
-        * ``"proxy"`` — degree/flow-hop upper-bound proxy.
+        * ``"proxy"`` — degree/flow-hop upper-bound proxy;
+        * ``"block"`` — exact blockwise decomposition for pod fabrics
+          (:func:`repro.flows.block.pod_theta`): one small LP per
+          distinct pod subproblem plus a coarse inter-pod LP, equal to
+          ``"lp"`` to 1e-9 on pod-structured topologies and falling
+          back to the flat LP on others.
     cache:
         Memo table; pass ``None`` to disable caching.
     """
@@ -139,6 +156,8 @@ def compute_theta(
             value = try_closed_form_theta(topology, matching)
             if value is not None:
                 return value
+        if method == "block":
+            return pod_theta(topology, matching, reference_rate)
         commodities = commodities_from_matching(matching)
         if method == "lp-warm":
             return default_warm_solver().solve(

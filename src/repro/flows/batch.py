@@ -73,8 +73,10 @@ def theta_batch(
         to read each topology's recorded ``reference_rate`` metadata.
     method:
         ``"auto"`` (closed form, LP fallback), ``"lp"`` (exact LP for
-        every row), or ``"lp-warm"`` (the warm-started family solver);
-        the closed-form vector pass only prices rows under ``"auto"``.
+        every row), ``"lp-warm"`` (the warm-started family solver), or
+        ``"block"`` (blockwise pod decomposition, with duplicate rows
+        in a group priced once); the closed-form vector pass only
+        prices rows under ``"auto"``.
     cache:
         Shared memo; every row is published under the scalar path's
         key and tag.  ``None`` disables caching.
@@ -155,6 +157,27 @@ def theta_batch(
                         tag=tag,
                     )
             fallback = index_arr[~priced].tolist()
+        if method == "block":
+            # Pod-structured rows: duplicate (matching, rate) rows in a
+            # group are priced once even with cache=None — the block
+            # evaluation is deterministic, so the short-circuit is
+            # bit-identical to re-evaluating.
+            seen: dict[tuple[Matching, float], int] = {}
+            for index in fallback:
+                key = (matchings[index], rates[index])
+                prior = seen.get(key)
+                if prior is not None:
+                    out[index] = out[prior]
+                    continue
+                out[index] = compute_theta(
+                    topology,
+                    matchings[index],
+                    reference_rate=rates[index],
+                    method=method,
+                    cache=cache,
+                )
+                seen[key] = index
+            continue
         for index in fallback:
             out[index] = compute_theta(
                 topology,

@@ -252,15 +252,16 @@ def _solve_scipy(
 def _extract_flows(
     structure: _LPStructure, x: np.ndarray
 ) -> tuple[dict[tuple[object, object], float], ...]:
-    n_edges = structure.n_edges
-    return tuple(
-        {
-            structure.edge_list[e]: float(x[1 + k * n_edges + e])
-            for e in range(n_edges)
-            if x[1 + k * n_edges + e] > 1e-12
-        }
-        for k in range(structure.n_comm)
+    # Vectorized: scan the (commodity x edge) block once and only walk
+    # the nonzero entries (optimal flows are sparse at scale).
+    flows = x[1:].reshape(structure.n_comm, structure.n_edges)
+    result: tuple[dict[tuple[object, object], float], ...] = tuple(
+        {} for _ in range(structure.n_comm)
     )
+    edge_list = structure.edge_list
+    for k, e in zip(*(idx.tolist() for idx in np.nonzero(flows > 1e-12))):
+        result[k][edge_list[e]] = float(flows[k, e])
+    return result
 
 
 def max_concurrent_flow(

@@ -42,6 +42,7 @@ from ..topology import (
     full_mesh,
     hypercube,
     line,
+    pod_fabric,
     ring,
     star,
     torus,
@@ -71,7 +72,7 @@ def canonical_digest(tag: str, payload: object) -> str:
 
 Options = tuple[tuple[str, object], ...]
 
-_THETA_METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy")
+_THETA_METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy", "block")
 
 
 def _freeze_options(options: object) -> Options:
@@ -129,6 +130,7 @@ _TOPOLOGY_FAMILIES: dict[str, object] = {
     "coprime_rings": lambda n, bandwidth, **kw: coprime_rings(
         n, node_bandwidth=bandwidth, **kw
     ),
+    "podfabric": pod_fabric,
 }
 
 

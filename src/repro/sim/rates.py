@@ -11,18 +11,33 @@ the simulator can quantify the gap (ablation bench ``bench_sim``):
 * ``"equal"``    — each flow gets an equal share of its bottleneck edge
   under shortest-path routing (TCP-like static fair share).
 
-The max-min and equal-share allocators are vectorized with numpy over a
-(flow x edge) incidence matrix: progressive filling does one
-``O(F * E)`` masked reduction per saturation round instead of Python
-dict arithmetic per flow per edge, which keeps batched simulation
-(``sim_many`` at n=256) tractable.
+The max-min and equal-share allocators run over a (flow x edge)
+shortest-path incidence structure with two interchangeable kernels:
+
+* a **dense** boolean matrix for small problems (masked numpy
+  reductions, exactly the historical code path), and
+* a **sparse** kernel (``scipy.sparse`` CSR/CSC index structure plus
+  ``np.bincount``/``np.minimum.reduceat`` over the nonzeros) once
+  ``flows * edges`` crosses :data:`SPARSE_CROSSOVER` — progressive
+  filling then costs ``O(nnz)`` per saturation round instead of
+  ``O(F * E)``, which is what keeps n=1024 fabrics tractable.
+
+Both kernels operate on the same integer edge-pressure counts and the
+same float shares, so their outputs are bit-identical; the differential
+suite pins this.  The incidence structure itself is memoized per
+``(topology fingerprint, matching)`` (it used to be rebuilt on every
+call), with :func:`incidence_build_count` exposing the build counter so
+tests can assert one build per key.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..exceptions import SimulationError
 from ..flows import (
@@ -35,9 +50,25 @@ from ..flows import (
 from ..matching import Matching
 from ..topology.base import Topology
 
-__all__ = ["FlowRate", "allocate_rates", "RATE_METHODS"]
+__all__ = [
+    "FlowRate",
+    "allocate_rates",
+    "RATE_METHODS",
+    "SPARSE_CROSSOVER",
+    "incidence_build_count",
+    "clear_incidence_cache",
+]
 
 RATE_METHODS = ("mcf", "maxmin", "equal")
+
+#: Dense/sparse crossover: the dense kernel is kept while
+#: ``flows * edges`` stays below this (n<=64 rings and friends keep
+#: their current speed and exact numerics); bigger problems route
+#: through the sparse kernel.  Both kernels are bit-identical, so the
+#: threshold is purely a performance knob.
+SPARSE_CROSSOVER = 32768
+
+_INCIDENCE_MEMO_MAX = 256
 
 
 @dataclass(frozen=True)
@@ -50,13 +81,97 @@ class FlowRate:
     hops: float
 
 
-def _shortest_path_incidence(topology: Topology, matching: Matching):
-    """Shortest-path routing state as numpy arrays.
+@dataclass(frozen=True)
+class _Incidence:
+    """Memoized shortest-path routing state for one (topology, matching).
 
-    Returns ``(pairs, incidence, capacities)``: the (src, dst) pairs in
-    matching order, the boolean (flow x edge) incidence matrix of their
-    shortest paths, and the per-edge capacity vector (edges in
-    ``topology.edges()`` order).
+    ``dense`` holds the boolean (flow x edge) matrix for small problems;
+    large problems carry only the sparse index structure (CSR for
+    row-major walks, CSC companions for column membership).  Exactly one
+    of the two representations is populated.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+    capacities: np.ndarray  # (E,) float
+    dense: np.ndarray | None  # (F, E) bool, or None on the sparse path
+    # Sparse structure (all None on the dense path):
+    entry_row: np.ndarray | None  # (nnz,) row id of each nonzero, CSR order
+    entry_col: np.ndarray | None  # (nnz,) column id of each nonzero, CSR order
+    row_indptr: np.ndarray | None  # (F+1,) CSR row pointers
+    col_entry: np.ndarray | None  # (nnz,) row id of each nonzero, CSC order
+    col_indptr: np.ndarray | None  # (E+1,) CSC column pointers
+
+    @property
+    def is_sparse(self) -> bool:
+        return self.dense is None
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.capacities)
+
+
+class _IncidenceCache:
+    """Thread-safe bounded LRU over (topology fingerprint, matching)."""
+
+    def __init__(self, maxsize: int = _INCIDENCE_MEMO_MAX) -> None:
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._memo: OrderedDict[tuple, _Incidence] = OrderedDict()
+        self.builds = 0
+
+    def get(self, topology: Topology, matching: Matching) -> _Incidence:
+        key = (topology.fingerprint(), matching)
+        with self._lock:
+            hit = self._memo.get(key)
+            if hit is not None:
+                self._memo.move_to_end(key)
+                return hit
+        built = _build_incidence(topology, matching)
+        with self._lock:
+            # Another thread may have raced us; keep the first build so
+            # callers always share one structure per key.
+            hit = self._memo.get(key)
+            if hit is not None:
+                self._memo.move_to_end(key)
+                return hit
+            self.builds += 1
+            self._memo[key] = built
+            while len(self._memo) > self._maxsize:
+                self._memo.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memo.clear()
+
+
+_incidence_cache = _IncidenceCache()
+
+
+def incidence_build_count() -> int:
+    """How many times the shortest-path incidence was actually built.
+
+    The structure is memoized per (topology fingerprint, matching);
+    repeated allocations against the same key must not increment this.
+    """
+    return _incidence_cache.builds
+
+
+def clear_incidence_cache() -> None:
+    """Drop every memoized incidence structure (test isolation hook)."""
+    _incidence_cache.clear()
+
+
+def _build_incidence(topology: Topology, matching: Matching) -> _Incidence:
+    """Route the matching over shortest paths and freeze the incidence.
+
+    The (flow x edge) structure is assembled as a ``scipy.sparse`` COO
+    and converted once; below :data:`SPARSE_CROSSOVER` it is densified
+    so small fabrics keep the historical masked-numpy kernels.
     """
     commodities = commodities_from_matching(matching)
     routing = route_shortest_paths(topology, commodities, reference_rate=1.0)
@@ -65,13 +180,35 @@ def _shortest_path_incidence(topology: Topology, matching: Matching):
     for u, v, capacity in topology.edges():
         edge_index[(u, v)] = len(capacities)
         capacities.append(capacity)
-    pairs = [(c.src, c.dst) for c in commodities]
-    incidence = np.zeros((len(pairs), len(capacities)), dtype=bool)
-    for k in range(len(pairs)):
+    pairs = tuple((c.src, c.dst) for c in commodities)
+    n_flows, n_edges = len(pairs), len(capacities)
+    rows: list[int] = []
+    cols: list[int] = []
+    for k in range(n_flows):
         path = routing.paths[k][0][0]
         for edge in zip(path, path[1:]):
-            incidence[k, edge_index[edge]] = True
-    return pairs, incidence, np.array(capacities, dtype=float)
+            rows.append(k)
+            cols.append(edge_index[edge])
+    coo = sp.coo_array(
+        (np.ones(len(rows)), (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64))),
+        shape=(max(n_flows, 1), max(n_edges, 1)),
+    )
+    cap = np.array(capacities, dtype=float)
+    if n_flows * n_edges < SPARSE_CROSSOVER:
+        dense = coo.toarray().astype(bool)[:n_flows, :n_edges]
+        return _Incidence(pairs, cap, dense, None, None, None, None, None)
+    csr = coo.tocsr()
+    csc = coo.tocsc()
+    entry_col = csr.indices.astype(np.int64)
+    row_indptr = csr.indptr.astype(np.int64)
+    entry_row = np.repeat(
+        np.arange(n_flows, dtype=np.int64), np.diff(row_indptr)[:n_flows]
+    )
+    col_entry = csc.indices.astype(np.int64)
+    col_indptr = csc.indptr.astype(np.int64)
+    return _Incidence(
+        pairs, cap, None, entry_row, entry_col, row_indptr, col_entry, col_indptr
+    )
 
 
 def _maxmin_rates(
@@ -81,14 +218,22 @@ def _maxmin_rates(
 
     Each round finds the edge with the smallest remaining
     capacity-per-active-flow, freezes every flow crossing it at that
-    fair share, and subtracts the frozen bandwidth — all as masked numpy
-    reductions.  The fixed point is the (unique) max-min fair
-    allocation over the shortest-path routes.
+    fair share, and subtracts the frozen bandwidth.  The fixed point is
+    the (unique) max-min fair allocation over the shortest-path routes.
+    Edge pressures are exact integer counts on both kernels, so the
+    dense and sparse paths agree bit for bit.
     """
-    pairs, incidence, capacities = _shortest_path_incidence(topology, matching)
-    rates = np.zeros(len(pairs))
-    active = np.ones(len(pairs), dtype=bool)
-    remaining = capacities.copy()
+    inc = _incidence_cache.get(topology, matching)
+    if inc.is_sparse:
+        return dict(zip(inc.pairs, _maxmin_sparse(inc)))
+    return dict(zip(inc.pairs, _maxmin_dense(inc)))
+
+
+def _maxmin_dense(inc: _Incidence) -> np.ndarray:
+    incidence = inc.dense
+    rates = np.zeros(inc.n_flows)
+    active = np.ones(inc.n_flows, dtype=bool)
+    remaining = inc.capacities.copy()
     while active.any():
         pressure = incidence[active].sum(axis=0)
         share = np.where(pressure > 0, remaining / np.maximum(pressure, 1), np.inf)
@@ -100,18 +245,53 @@ def _maxmin_rates(
         # Guard against float drift leaving tiny negative capacities.
         np.maximum(remaining, 0.0, out=remaining)
         active &= ~saturated
-    return {pair: float(rate) for pair, rate in zip(pairs, rates)}
+    return rates
+
+
+def _maxmin_sparse(inc: _Incidence) -> np.ndarray:
+    entry_row, entry_col = inc.entry_row, inc.entry_col
+    n_flows, n_edges = inc.n_flows, inc.n_edges
+    rates = np.zeros(n_flows)
+    active = np.ones(n_flows, dtype=bool)
+    remaining = inc.capacities.copy()
+    while active.any():
+        live = active[entry_row]
+        pressure = np.bincount(entry_col[live], minlength=n_edges)
+        share = np.where(pressure > 0, remaining / np.maximum(pressure, 1), np.inf)
+        bottleneck = int(np.argmin(share))
+        fair_share = float(share[bottleneck])
+        members = inc.col_entry[
+            inc.col_indptr[bottleneck] : inc.col_indptr[bottleneck + 1]
+        ]
+        saturated = np.zeros(n_flows, dtype=bool)
+        saturated[members] = True
+        saturated &= active
+        rates[saturated] = fair_share
+        frozen = np.bincount(entry_col[saturated[entry_row]], minlength=n_edges)
+        remaining -= fair_share * frozen
+        np.maximum(remaining, 0.0, out=remaining)
+        active &= ~saturated
+    return rates
 
 
 def _equal_share_rates(
     topology: Topology, matching: Matching
 ) -> dict[tuple[int, int], float]:
     """Each flow: min over its path of capacity / flows-on-edge."""
-    pairs, incidence, capacities = _shortest_path_incidence(topology, matching)
+    inc = _incidence_cache.get(topology, matching)
+    if inc.is_sparse:
+        load = np.bincount(inc.entry_col, minlength=inc.n_edges)
+        share = np.where(load > 0, inc.capacities / np.maximum(load, 1), np.inf)
+        lengths = np.diff(inc.row_indptr)[: inc.n_flows]
+        if (lengths == 0).any():
+            raise SimulationError("flow with empty shortest path")
+        rates = np.minimum.reduceat(share[inc.entry_col], inc.row_indptr[:-1])
+        return dict(zip(inc.pairs, rates))
+    incidence = inc.dense
     load = incidence.sum(axis=0)
-    share = np.where(load > 0, capacities / np.maximum(load, 1), np.inf)
+    share = np.where(load > 0, inc.capacities / np.maximum(load, 1), np.inf)
     rates = np.where(incidence, share[np.newaxis, :], np.inf).min(axis=1)
-    return {pair: float(rate) for pair, rate in zip(pairs, rates)}
+    return dict(zip(inc.pairs, rates))
 
 
 def allocate_rates(
@@ -153,7 +333,7 @@ def allocate_rates(
         FlowRate(
             src,
             dst,
-            rates[(src, dst)],
+            float(rates[(src, dst)]),
             float(topology.hop_distance(src, dst)),
         )
         for src, dst in matching

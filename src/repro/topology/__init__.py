@@ -14,6 +14,7 @@ from .generators import random_permutation_union, random_regular
 from .hypercube import hypercube
 from .matched import matched_topology, multi_matched_topology
 from .mesh import full_mesh, line, star
+from .pods import CORE, PodFabric, pod_fabric, pod_ranges
 from .ring import ring
 from .torus import torus
 
@@ -32,4 +33,8 @@ __all__ = [
     "multi_matched_topology",
     "random_regular",
     "random_permutation_union",
+    "PodFabric",
+    "pod_fabric",
+    "pod_ranges",
+    "CORE",
 ]

@@ -1,0 +1,152 @@
+"""Sparse vs dense rate kernels: bit-identical, memoized once per key.
+
+The n=256 scale rewrite gave :mod:`repro.sim.rates` two kernel
+implementations — the historical dense (flow x edge) masked-numpy path
+and the ``scipy.sparse`` index path — selected by the
+``SPARSE_CROSSOVER`` product.  The crossover is purely a performance
+knob: edge pressures are exact integer counts on both sides, so the
+kernels must agree *bitwise*, not merely within tolerance.  These tests
+force each kernel on the same problems and assert ``==`` on every rate.
+
+The incidence structure itself is memoized per (topology fingerprint,
+matching); the regression tests at the bottom pin the one-build-per-key
+contract that keeps repeated allocations O(flows) instead of
+O(flows x BFS).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from families import RATE
+from repro.matching import Matching
+from repro.sim import rates as rates_mod
+from repro.sim.rates import (
+    allocate_rates,
+    clear_incidence_cache,
+    incidence_build_count,
+)
+from repro.topology import hypercube, pod_fabric, ring
+
+TOPOLOGIES = [
+    ring(16, RATE),
+    ring(16, RATE, bidirectional=False),
+    hypercube(16, RATE),
+    pod_fabric(16, RATE, pods=2, uplinks_per_pod=2),
+]
+
+PATTERNS = [
+    Matching.shift(16, 1),
+    Matching.shift(16, 5),
+    Matching.shift(16, 8),
+    Matching.xor_exchange(16, 4),
+    Matching(16, [(i, (i + 2) % 16) for i in range(0, 16, 2)]),
+    Matching(16, [(0, 15)]),
+]
+
+
+def _forced(monkeypatch, crossover: int, topology, matching, method: str):
+    """Rates with the kernel choice pinned by an artificial crossover."""
+    monkeypatch.setattr(rates_mod, "SPARSE_CROSSOVER", crossover)
+    clear_incidence_cache()
+    return allocate_rates(topology, matching, RATE, method=method, cache=None)
+
+
+@pytest.mark.parametrize("method", ["maxmin", "equal"])
+@pytest.mark.parametrize(
+    "topology", TOPOLOGIES, ids=lambda t: t.name
+)
+def test_sparse_and_dense_kernels_are_bit_identical(
+    monkeypatch, topology, method
+):
+    for matching in PATTERNS:
+        dense = _forced(monkeypatch, 10**9, topology, matching, method)
+        sparse = _forced(monkeypatch, 1, topology, matching, method)
+        assert len(dense) == len(sparse) == len(matching)
+        for d, s in zip(dense, sparse):
+            assert (d.src, d.dst, d.hops) == (s.src, s.dst, s.hops)
+            assert d.rate == s.rate  # bitwise, no tolerance
+
+
+def test_default_crossover_keeps_small_problems_dense(monkeypatch):
+    clear_incidence_cache()
+    topology = ring(16, RATE)
+    allocate_rates(topology, Matching.shift(16, 1), RATE, method="maxmin", cache=None)
+    inc = rates_mod._incidence_cache.get(topology, Matching.shift(16, 1))
+    assert not inc.is_sparse  # 16 flows x ~32 edges is far below the knob
+
+
+def test_forced_sparse_structure_is_used(monkeypatch):
+    monkeypatch.setattr(rates_mod, "SPARSE_CROSSOVER", 1)
+    clear_incidence_cache()
+    topology = ring(16, RATE)
+    allocate_rates(topology, Matching.shift(16, 1), RATE, method="maxmin", cache=None)
+    inc = rates_mod._incidence_cache.get(topology, Matching.shift(16, 1))
+    assert inc.is_sparse
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), n=st.sampled_from([8, 16]))
+def test_random_matchings_agree_bitwise(data, n):
+    topology = data.draw(
+        st.sampled_from([ring(n, RATE), hypercube(n, RATE)])
+    )
+    perm = data.draw(st.permutations(range(n)))
+    pairs = [(i, p) for i, p in enumerate(perm) if i != p]
+    keep = data.draw(st.integers(0, len(pairs))) if pairs else 0
+    matching = Matching(n, pairs[:keep])
+    if len(matching) == 0:
+        return
+    method = data.draw(st.sampled_from(["maxmin", "equal"]))
+    clear_incidence_cache()
+    original = rates_mod.SPARSE_CROSSOVER
+    try:
+        rates_mod.SPARSE_CROSSOVER = 10**9
+        dense = allocate_rates(topology, matching, RATE, method=method, cache=None)
+        clear_incidence_cache()
+        rates_mod.SPARSE_CROSSOVER = 1
+        sparse = allocate_rates(topology, matching, RATE, method=method, cache=None)
+    finally:
+        rates_mod.SPARSE_CROSSOVER = original
+        clear_incidence_cache()
+    assert dense == sparse  # FlowRate tuples compare field-for-field
+
+
+class TestIncidenceMemo:
+    """One incidence build per (topology fingerprint, matching)."""
+
+    def test_repeated_allocations_build_once(self):
+        clear_incidence_cache()
+        topology = ring(16, RATE)
+        matching = Matching.shift(16, 3)
+        before = incidence_build_count()
+        for _ in range(4):
+            allocate_rates(topology, matching, RATE, method="maxmin", cache=None)
+        assert incidence_build_count() == before + 1
+
+    def test_methods_share_the_structure(self):
+        clear_incidence_cache()
+        topology = ring(16, RATE)
+        matching = Matching.shift(16, 3)
+        before = incidence_build_count()
+        allocate_rates(topology, matching, RATE, method="maxmin", cache=None)
+        allocate_rates(topology, matching, RATE, method="equal", cache=None)
+        assert incidence_build_count() == before + 1
+
+    def test_distinct_keys_build_separately(self):
+        clear_incidence_cache()
+        topology = ring(16, RATE)
+        before = incidence_build_count()
+        allocate_rates(
+            topology, Matching.shift(16, 1), RATE, method="maxmin", cache=None
+        )
+        allocate_rates(
+            topology, Matching.shift(16, 2), RATE, method="maxmin", cache=None
+        )
+        # An equal-fingerprint topology object still hits the memo.
+        twin = ring(16, RATE)
+        allocate_rates(
+            twin, Matching.shift(16, 1), RATE, method="maxmin", cache=None
+        )
+        assert incidence_build_count() == before + 2

@@ -1,0 +1,149 @@
+"""Golden n=128 fixture: block theta pinned against the flat exact LP.
+
+The committed fixture ``tests/fixtures/golden_block_n128.json`` records
+the *flat LP's* theta values for a pattern battery on the 2x64 pod
+fabric — computed once, at regeneration time, when the ~2.5s-per-solve
+flat LP is affordable.  Every test run then re-prices the battery
+through the block decomposition (milliseconds) and holds it to the
+pinned flat values at 1e-9: the scale path cannot drift from the
+ground truth without failing here, and the fast lane never pays for
+the flat solves.
+
+Regenerate deliberately with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_block_golden.py
+
+Regeneration recomputes both sides and refuses to write a fixture in
+which they disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.flows import (
+    commodities_from_matching,
+    max_concurrent_flow,
+    pod_theta,
+)
+from repro.matching import Matching
+from repro.topology import PodFabric
+from repro.units import Gbps
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_block_n128.json"
+ACTUAL = FIXTURE.parent / "golden_block_n128.actual.json"
+
+N = 128
+RATE = Gbps(800)
+REL_TOL = 1e-9
+
+FABRIC = PodFabric(pod_sizes=(64, 64), bandwidth=RATE, uplinks_per_pod=4)
+
+
+def pattern_battery() -> dict[str, Matching]:
+    """Shifts, XORs, and partial matchings spanning intra- and
+    cross-pod traffic on the 2x64 fabric."""
+    return {
+        "shift_1": Matching.shift(N, 1),
+        "shift_17": Matching.shift(N, 17),
+        "shift_64": Matching.shift(N, 64),
+        "shift_127": Matching.shift(N, 127),
+        "xor_1": Matching.xor_exchange(N, 1),
+        "xor_64": Matching.xor_exchange(N, 64),
+        "cross_pod_partial": Matching(
+            N, [(i, 64 + i) for i in range(0, 16)]
+        ),
+        "intra_pod_only": Matching(
+            N, [(i, (i + 3) % 64) for i in range(64)]
+        ),
+    }
+
+
+def compute_block() -> dict[str, float]:
+    topology = FABRIC.flat_topology()
+    return {
+        name: pod_theta(topology, matching, RATE)
+        for name, matching in pattern_battery().items()
+    }
+
+
+def compute_flat() -> dict[str, float]:
+    """The ground truth — only ever run under REPRO_REGEN_GOLDEN."""
+    topology = FABRIC.flat_topology()
+    return {
+        name: max_concurrent_flow(
+            topology, commodities_from_matching(matching), RATE
+        ).theta
+        for name, matching in pattern_battery().items()
+    }
+
+
+@pytest.fixture(scope="module")
+def block_values() -> dict[str, float]:
+    return compute_block()
+
+
+def test_fixture_exists_or_regenerate(block_values):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        flat = compute_flat()
+        for name, block in block_values.items():
+            assert math.isclose(
+                block, flat[name], rel_tol=REL_TOL, abs_tol=REL_TOL
+            ), f"refusing to pin a disagreement: {name} block={block} flat={flat[name]}"
+        FIXTURE.parent.mkdir(exist_ok=True)
+        FIXTURE.write_text(
+            json.dumps(
+                {
+                    "n": N,
+                    "fabric": FABRIC.to_dict(),
+                    "flat_lp_theta": flat,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    assert FIXTURE.exists(), (
+        f"golden fixture {FIXTURE} is missing; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_block_matches_pinned_flat_lp(block_values):
+    if not FIXTURE.exists():
+        pytest.skip("fixture missing (covered by test_fixture_exists)")
+    golden = json.loads(FIXTURE.read_text())
+    assert golden["fabric"] == FABRIC.to_dict(), (
+        "fixture was generated for a different fabric; regenerate"
+    )
+    pinned = golden["flat_lp_theta"]
+    assert sorted(pinned) == sorted(block_values), "pattern battery changed"
+    mismatches = [
+        f"{name}: flat={pinned[name]!r} block={got!r}"
+        for name, got in block_values.items()
+        if not math.isclose(
+            got, pinned[name], rel_tol=REL_TOL, abs_tol=REL_TOL
+        )
+    ]
+    if mismatches:
+        ACTUAL.write_text(
+            json.dumps({"block_theta": block_values}, indent=2) + "\n"
+        )
+        pytest.fail(
+            f"block theta drifted from the pinned flat LP at n={N} "
+            f"({len(mismatches)} patterns); wrote {ACTUAL}.\n"
+            + "\n".join(mismatches)
+        )
+
+
+def test_pinned_values_are_sane(block_values):
+    for name, value in block_values.items():
+        assert value > 0 and math.isfinite(value), (name, value)
+    # Intra-pod traffic never crosses uplinks: its theta matches a
+    # single 64-ring's shift-3 concurrent flow, which dominates the
+    # uplink-constrained cross-pod patterns.
+    assert block_values["intra_pod_only"] > block_values["shift_64"]

@@ -1,0 +1,171 @@
+"""The perf gate's CPU-tagged baseline selection.
+
+``benchmarks/check_regression.py`` is plain stdlib (no repro imports),
+so it is loaded here by path and unit-tested like any module: tag
+parsing, the exact > untagged > nearest preference order, the fallback
+warnings, and an end-to-end run over a synthetic baseline/fresh tree.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def bench_json(cases: dict[str, float], cpu_count: int | None = None) -> str:
+    data: dict[str, object] = {
+        "benchmark": "x",
+        "cases": {
+            name: {"mean_s": mean, "median_s": mean, "rounds": 1}
+            for name, mean in cases.items()
+        },
+    }
+    if cpu_count is not None:
+        data["machine"] = {"cpu_count": cpu_count}
+    return json.dumps(data)
+
+
+class TestTagParsing:
+    def test_untagged(self):
+        name, tag = check_regression.split_cpu_tag(Path("BENCH_scale.json"))
+        assert (name, tag) == ("BENCH_scale.json", None)
+
+    def test_tagged(self):
+        name, tag = check_regression.split_cpu_tag(
+            Path("BENCH_scale.cpu4.json")
+        )
+        assert (name, tag) == ("BENCH_scale.json", 4)
+
+    def test_dots_in_name(self):
+        name, tag = check_regression.split_cpu_tag(
+            Path("BENCH_theta.v2.cpu16.json")
+        )
+        assert (name, tag) == ("BENCH_theta.v2.json", 16)
+
+
+class TestBaselineSelection:
+    def variants(self, tmp_path, tags):
+        out = {}
+        for tag in tags:
+            suffix = "" if tag is None else f".cpu{tag}"
+            path = tmp_path / f"BENCH_x{suffix}.json"
+            path.write_text(bench_json({"case": 1.0}))
+            out[tag] = path
+        return out
+
+    def test_exact_tag_wins_silently(self, tmp_path):
+        variants = self.variants(tmp_path, [None, 1, 4])
+        path, warning = check_regression.select_baseline(variants, 4)
+        assert path == variants[4]
+        assert warning is None
+
+    def test_untagged_fallback_warns_when_tags_exist(self, tmp_path):
+        variants = self.variants(tmp_path, [None, 1])
+        path, warning = check_regression.select_baseline(variants, 8)
+        assert path == variants[None]
+        assert warning and "cpu8" in warning
+
+    def test_untagged_only_is_silent(self, tmp_path):
+        variants = self.variants(tmp_path, [None])
+        path, warning = check_regression.select_baseline(variants, 8)
+        assert path == variants[None]
+        assert warning is None
+
+    def test_nearest_tag_fallback(self, tmp_path):
+        variants = self.variants(tmp_path, [1, 16])
+        path, warning = check_regression.select_baseline(variants, 12)
+        assert path == variants[16]
+        assert warning and "cpu16" in warning
+
+
+class TestFreshCpuCount:
+    def test_reads_recorded_machine(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(bench_json({"case": 1.0}, cpu_count=7))
+        assert check_regression.fresh_cpu_count(path) == 7
+
+    def test_falls_back_to_os_count(self, tmp_path):
+        import os
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(bench_json({"case": 1.0}))
+        assert check_regression.fresh_cpu_count(path) == (os.cpu_count() or 1)
+
+
+class TestEndToEnd:
+    def tree(self, tmp_path, baseline_files, fresh_files):
+        baseline = tmp_path / "baselines"
+        fresh = tmp_path / "results"
+        baseline.mkdir()
+        fresh.mkdir()
+        for name, content in baseline_files.items():
+            (baseline / name).write_text(content)
+        for name, content in fresh_files.items():
+            (fresh / name).write_text(content)
+        return baseline, fresh
+
+    def run(self, baseline, fresh):
+        return check_regression.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        )
+
+    def test_matching_tag_passes(self, tmp_path, capsys):
+        cases = {"a": 1.0, "b": 2.0, "c": 3.0}
+        baseline, fresh = self.tree(
+            tmp_path,
+            {"BENCH_x.cpu2.json": bench_json(cases)},
+            {"BENCH_x.json": bench_json(cases, cpu_count=2)},
+        )
+        assert self.run(baseline, fresh) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_tag_mismatch_warns_but_gates(self, tmp_path, capsys):
+        cases = {"a": 1.0, "b": 2.0, "c": 3.0}
+        baseline, fresh = self.tree(
+            tmp_path,
+            {
+                "BENCH_x.json": bench_json(cases),
+                "BENCH_x.cpu2.json": bench_json(cases),
+            },
+            {"BENCH_x.json": bench_json(cases, cpu_count=16)},
+        )
+        assert self.run(baseline, fresh) == 0
+        assert "falling back to the untagged" in capsys.readouterr().err
+
+    def test_regression_still_fails_through_tagged_baseline(
+        self, tmp_path, capsys
+    ):
+        baseline, fresh = self.tree(
+            tmp_path,
+            {"BENCH_x.cpu2.json": bench_json({"a": 1.0, "b": 2.0, "c": 3.0})},
+            {
+                "BENCH_x.json": bench_json(
+                    {"a": 1.0, "b": 2.0, "c": 30.0}, cpu_count=2
+                )
+            },
+        )
+        assert self.run(baseline, fresh) == 1
+        assert "BENCH_x.json::c" in capsys.readouterr().err
+
+    def test_tagged_variants_count_once(self, tmp_path, capsys):
+        cases = {"a": 1.0, "b": 2.0, "c": 3.0}
+        baseline, fresh = self.tree(
+            tmp_path,
+            {
+                "BENCH_x.json": bench_json(cases),
+                "BENCH_x.cpu1.json": bench_json(cases),
+                "BENCH_x.cpu8.json": bench_json(cases),
+            },
+            {"BENCH_x.json": bench_json(cases, cpu_count=1)},
+        )
+        assert self.run(baseline, fresh) == 0
+        assert "1 benchmark file(s)" in capsys.readouterr().out

@@ -10,9 +10,9 @@ the suite with the snippet's file, position, and first line in the
 report.
 
 ``bash`` blocks are intentionally not executed (they are CLI mirrors of
-python recipes already covered here and in the CI smoke steps), and
-``docs/paper_map.md`` contains no code blocks — but if someone adds
-python ones, they get executed too.
+python recipes already covered here and in the CI smoke steps).
+``docs/paper_map.md``'s pod-fabric snippet runs here too — it pins the
+block-vs-flat exactness claim live on every suite run.
 """
 
 from __future__ import annotations

@@ -1,0 +1,283 @@
+"""PodFabric construction, metadata plumbing, and the block theta path.
+
+The hierarchical fabric is the scale story's foundation: these tests
+pin its validation surface, the dict round-trip, the ``pods`` metadata
+contract that everything downstream keys on, and the block solver's
+work-avoidance accounting.  Exactness against the flat LP is pinned
+separately in ``tests/differential/test_block_vs_flat.py`` and the
+n=128 golden fixture.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import (
+    available_throughput_backends,
+    compute_theta_backend,
+    scenario_theta_method,
+)
+from repro.exceptions import ConfigurationError, FlowError, TopologyError
+from repro.fabric.degradation import uniform_degradation
+from repro.flows import (
+    block_stats,
+    compute_theta,
+    pod_structure,
+    pod_theta,
+    reset_block_stats,
+    theta_batch,
+)
+from repro.matching import Matching
+from repro.planner import PlanRequest, plan
+from repro.planner.scenario import Scenario
+from repro.topology import CORE, PodFabric, pod_fabric, ring
+from repro.units import Gbps
+
+RATE = Gbps(800)
+
+
+def fabric(sizes=(8, 8), **kwargs) -> PodFabric:
+    kwargs.setdefault("uplinks_per_pod", 2)
+    return PodFabric(pod_sizes=tuple(sizes), bandwidth=RATE, **kwargs)
+
+
+class TestPodFabricStructure:
+    def test_counts_and_ranges(self):
+        f = fabric((4, 6, 8))
+        assert f.n == 18
+        assert f.n_pods == 3
+        assert f.ranges == ((0, 4), (4, 6), (10, 8))
+        assert [f.pod_of(r) for r in (0, 3, 4, 9, 10, 17)] == [0, 0, 1, 1, 2, 2]
+        with pytest.raises(TopologyError):
+            f.pod_of(18)
+
+    def test_flat_topology_carries_pod_metadata(self):
+        topology = fabric((4, 6)).flat_topology()
+        assert topology.metadata["family"] == "podfabric"
+        assert topology.metadata["reference_rate"] == RATE
+        structure = pod_structure(topology)
+        assert structure is not None
+        assert structure.ranges == ((0, 4), (4, 6))
+        assert structure.core == CORE
+
+    def test_uplink_edges_and_multipliers(self):
+        f = fabric((4, 4), uplink_multipliers=(1.0, 0.5))
+        edges = {(u, v): c for u, v, c in f.flat_topology().edges()}
+        assert edges[(0, CORE)] == RATE
+        assert edges[(4, CORE)] == pytest.approx(0.5 * RATE)
+        assert f.multiplier(0) == 1.0 and f.multiplier(1) == 0.5
+
+    def test_cut_off_pod_has_no_uplinks(self):
+        f = fabric((4, 4), uplink_multipliers=(1.0, 0.0))
+        uplinked = {
+            u for u, v, _ in f.flat_topology().edges() if v == CORE
+        }
+        assert uplinked == {0, 1}
+
+    def test_dict_round_trip(self):
+        f = fabric(
+            (4, 6),
+            pod_family="full_mesh",
+            uplink_bandwidth=RATE / 2,
+            uplink_multipliers=(1.0, 0.25),
+        )
+        assert PodFabric.from_dict(f.to_dict()) == f
+
+    def test_replace_revalidates(self):
+        f = fabric((4, 4))
+        assert f.replace(pod_sizes=(6, 6)).n == 12
+        with pytest.raises(TopologyError):
+            f.replace(uplinks_per_pod=99)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pod_sizes": ()},
+            {"pod_sizes": (4, 1)},
+            {"pod_family": "star"},
+            {"pod_family": "nope"},
+            {"uplinks_per_pod": 0},
+            {"uplinks_per_pod": 5, "pod_sizes": (4, 8)},
+            {"uplink_multipliers": (1.0,)},
+            {"uplink_multipliers": (1.0, 1.5)},
+            {"uplink_bandwidth": 0.0},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        base = {"pod_sizes": (4, 4), "bandwidth": RATE}
+        with pytest.raises(TopologyError):
+            PodFabric(**{**base, **kwargs})
+
+    def test_pod_fabric_builder_splits_and_rejects(self):
+        topology = pod_fabric(16, RATE, pods=2, uplinks_per_pod=2)
+        assert pod_structure(topology).ranges == ((0, 8), (8, 8))
+        topology = pod_fabric(10, RATE, pod_sizes=(4, 6), uplinks_per_pod=2)
+        assert pod_structure(topology).ranges == ((0, 4), (4, 6))
+        with pytest.raises(TopologyError):
+            pod_fabric(10, RATE, pods=3)
+        with pytest.raises(TopologyError):
+            pod_fabric(10, RATE, pod_sizes=(4, 4))
+        with pytest.raises(TopologyError):
+            pod_fabric(10, RATE)
+
+    def test_scenario_family_registration(self):
+        scenario = Scenario.create(
+            "allgather_ring",
+            16,
+            1 << 20,
+            alpha=1e-5,
+            delta=1e-6,
+            reconfiguration_delay=1e-4,
+            bandwidth=RATE,
+            topology="podfabric",
+            topology_options={"pods": 2, "uplinks_per_pod": 2},
+        )
+        assert pod_structure(scenario.build_topology()) is not None
+
+
+class TestPodStructureParsing:
+    def test_flat_topology_has_no_structure(self):
+        assert pod_structure(ring(8, RATE)) is None
+
+    def test_malformed_metadata_raises(self):
+        from repro.topology.base import Topology
+
+        base = ring(8, RATE)
+        topology = Topology(
+            8, list(base.edges()), metadata={"pods": {"ranges": "nope"}}
+        )
+        with pytest.raises(FlowError):
+            pod_structure(topology)
+
+    def test_degradation_preserves_pod_metadata(self):
+        degraded = fabric((4, 4)).degraded(uniform_degradation(8, 0.8))
+        structure = pod_structure(degraded)
+        assert structure is not None
+        assert structure.ranges == ((0, 4), (4, 4))
+
+
+class TestBlockTheta:
+    def test_flat_fallback_matches_lp_and_counts(self):
+        topology = ring(8, RATE)
+        matching = Matching.shift(8, 1)
+        reset_block_stats()
+        value = pod_theta(topology, matching, RATE)
+        assert block_stats().flat_fallbacks == 1
+        assert value == pytest.approx(
+            compute_theta(topology, matching, RATE, method="lp", cache=None),
+            rel=1e-9,
+        )
+
+    def test_empty_matching_is_inf(self):
+        topology = fabric((4, 4)).flat_topology()
+        assert math.isinf(pod_theta(topology, Matching(8, []), RATE))
+
+    def test_cut_off_pod_zeroes_inter_pod_demand(self):
+        topology = fabric((4, 4), uplink_multipliers=(1.0, 0.0)).flat_topology()
+        assert pod_theta(topology, Matching.shift(8, 4), RATE) == 0.0
+        # Intra-pod traffic still flows inside the severed pod.
+        intra = Matching(8, [(0, 1), (4, 5)])
+        assert pod_theta(topology, intra, RATE) > 0.0
+
+    def test_uniform_pattern_dedups_to_one_pod_solve(self):
+        topology = fabric((4,) * 4).flat_topology()
+        reset_block_stats()
+        pod_theta(topology, Matching.shift(16, 1), RATE)
+        stats = block_stats()
+        # Equal pods with identical local commodities collapse onto one
+        # LP (plus possibly the coarse problem); the rest are memo hits
+        # or screened.
+        assert stats.pod_solves <= 2
+        assert stats.memo_hits + stats.pods_screened >= 2
+
+    def test_parallel_path_matches_serial(self):
+        topology = fabric((4, 6, 8)).flat_topology()
+        matching = Matching.shift(18, 5)
+        serial = pod_theta(topology, matching, RATE)
+        threaded = pod_theta(topology, matching, RATE, parallel=3)
+        assert threaded == pytest.approx(serial, rel=1e-9)
+
+    def test_compute_theta_block_method_and_cache(self):
+        from repro.flows import ThroughputCache
+
+        topology = fabric((4, 4)).flat_topology()
+        matching = Matching.shift(8, 2)
+        cache = ThroughputCache()
+        first = compute_theta(topology, matching, RATE, method="block", cache=cache)
+        second = compute_theta(topology, matching, RATE, method="block", cache=cache)
+        assert first == second
+        assert cache.stats().hits >= 1
+
+    def test_theta_batch_block_dedups_duplicate_rows(self):
+        topology = fabric((4, 4)).flat_topology()
+        rows = [Matching.shift(8, 1), Matching.shift(8, 2), Matching.shift(8, 1)]
+        values = theta_batch(topology, rows, RATE, method="block", cache=None)
+        assert values[0] == values[2]
+        assert values[0] == pytest.approx(
+            compute_theta(topology, rows[0], RATE, method="lp", cache=None),
+            rel=1e-9,
+        )
+
+
+class TestEngineAndPlannerIntegration:
+    def scenario(self, theta_method="auto"):
+        return Scenario.create(
+            "alltoall_pairwise_xor",
+            16,
+            1 << 20,
+            alpha=1e-5,
+            delta=1e-6,
+            reconfiguration_delay=1e-4,
+            bandwidth=RATE,
+            topology="podfabric",
+            topology_options={"pods": 2, "uplinks_per_pod": 2},
+            theta_method=theta_method,
+        )
+
+    def test_block_lp_backend_is_registered(self):
+        assert "block-lp" in available_throughput_backends()
+        assert scenario_theta_method("block-lp") == "block"
+
+    def test_block_lp_backend_matches_exact_lp(self):
+        topology = fabric((4, 4)).flat_topology()
+        matching = Matching.shift(8, 3)
+        assert compute_theta_backend(
+            topology, matching, RATE, backend="block-lp", cache=None
+        ) == pytest.approx(
+            compute_theta_backend(
+                topology, matching, RATE, backend="exact-lp", cache=None
+            ),
+            rel=1e-9,
+        )
+
+    def test_block_solver_matches_dp_on_flat_lp(self):
+        blocked = plan(
+            PlanRequest(scenario=self.scenario("block"), solver="block")
+        )
+        flat = plan(PlanRequest(scenario=self.scenario("lp"), solver="dp"))
+        assert blocked.total_time == pytest.approx(flat.total_time, rel=1e-9)
+        assert blocked.schedule == flat.schedule
+        assert blocked.solver == "block"
+        assert dict(blocked.metadata)["inner"] == "dp"
+
+    def test_block_solver_inner_option_passthrough(self):
+        result = plan(
+            PlanRequest(
+                scenario=self.scenario("block"),
+                solver="block",
+                options=(("inner", "greedy"),),
+            )
+        )
+        assert dict(result.metadata)["inner"] == "greedy"
+
+    def test_block_solver_rejects_nesting(self):
+        with pytest.raises(ConfigurationError):
+            plan(
+                PlanRequest(
+                    scenario=self.scenario("block"),
+                    solver="block",
+                    options=(("inner", "block"),),
+                )
+            )

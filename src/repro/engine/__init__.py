@@ -52,6 +52,14 @@ from .backends import (
     theta_envelope,
     unregister_throughput_backend,
 )
+from .incremental import (
+    PlanContext,
+    compute_theta_delta,
+    fabric_state_for,
+    prewarm_scenario_context,
+    prewarm_workload_context,
+    scenario_lineage,
+)
 from .parallel import EXECUTION_BACKENDS, resolve_execution_backend
 from .store import (
     ENV_CACHE_DIR,
@@ -82,6 +90,13 @@ __all__ = [
     "compute_theta_backend_many",
     "theta_envelope",
     "scenario_theta_method",
+    # incremental (delta-aware) pricing
+    "PlanContext",
+    "compute_theta_delta",
+    "fabric_state_for",
+    "scenario_lineage",
+    "prewarm_scenario_context",
+    "prewarm_workload_context",
     # caching
     "DiskStore",
     "activate_disk_cache",

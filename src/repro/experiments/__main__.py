@@ -58,7 +58,7 @@ from ..fabric.reconfiguration import (
     ConstantReconfigurationDelay,
     PerPortReconfigurationDelay,
 )
-from ..flows import default_cache
+from ..flows import block_stats, default_cache, incremental_stats
 from ..planner import Scenario, available_solvers, plan
 from ..sim import RATE_METHODS, simulate_plan, simulate_workload
 from ..units import Gbps, MiB, format_time, ns, us
@@ -395,7 +395,30 @@ def _run_plan(args: argparse.Namespace) -> int:
             f"theta cache: {stats.size} entries, "
             f"{stats.hit_rate:.0%} hit rate ({stats.lookups} lookups)"
         )
+    _print_solver_counters()
     return 0
+
+
+def _print_solver_counters() -> None:
+    """Extra observability lines for pod-fabric runs.
+
+    Printed *in addition to* the ``theta cache:`` line (which CI greps
+    byte-for-byte) and only when the block or delta path actually did
+    work, so flat-topology output is unchanged."""
+    bs = block_stats()
+    if bs.pod_solves or bs.pods_screened or bs.batch_dedup_hits:
+        print(
+            f"block solver: pod_solves={bs.pod_solves} "
+            f"memo_hits={bs.memo_hits} screened={bs.pods_screened} "
+            f"batch_dedup_hits={bs.batch_dedup_hits}"
+        )
+    inc = incremental_stats()
+    if inc.delta_solves or inc.full_solves:
+        print(
+            f"incremental: delta={inc.delta_solves} full={inc.full_solves} "
+            f"context_hits={inc.context_hits} "
+            f"reuse_ratio={inc.reuse_ratio:.0%}"
+        )
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -658,6 +681,7 @@ def main(argv: list[str] | None = None) -> int:
         f"theta cache: hits={stats.hits} misses={stats.misses} "
         f"disk_hits={stats.disk_hits} size={stats.size}"
     )
+    _print_solver_counters()
     return 0
 
 

@@ -267,6 +267,10 @@ class FabricHealth:
             metadata["reference_rate"] = base_meta["reference_rate"]
         if "family" in base_meta:
             metadata["base_family"] = base_meta["family"]
+        elif "base_family" in base_meta:
+            # Applying a second condition to an already-degraded
+            # instance must not lose track of the original family.
+            metadata["base_family"] = base_meta["base_family"]
         # Pod structure survives degradation: the block decomposition
         # (repro.flows.block) is exact on any capacities, so a degraded
         # pod fabric must keep routing through the block path.

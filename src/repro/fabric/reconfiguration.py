@@ -52,15 +52,44 @@ def configuration_from_topology(topology: Topology) -> Configuration:
     """The circuit set of a standing topology (rank-to-rank edges).
 
     Only valid for fabrics realizable by one circuit layer per port
-    pair; relay nodes (electrical switches) are rejected because they
-    are not photonic circuits.
+    pair.  Relay nodes (electrical switches) are not photonic circuits:
+    a fabric whose connectivity runs *through* a relay (e.g. a star) is
+    rejected.  Pod fabrics are the one sanctioned exception — their
+    rank-to-rank intra-pod circuits are the reconfigurable optical
+    layer, while the rank-to-core uplinks are static electrical
+    infrastructure, so the configuration is the intra-pod circuit set
+    with relay-incident edges excluded.
     """
     if topology.relay_nodes:
+        circuits = _pod_optical_circuits(topology)
+        if circuits is not None:
+            return circuits
         raise FabricError(
             f"topology {topology.name!r} contains relay nodes and is not "
             "an optical circuit configuration"
         )
     return frozenset((u, v) for u, v, _ in topology.edges())
+
+
+def _pod_optical_circuits(topology: Topology) -> Configuration | None:
+    """The rank-to-rank circuit layer of a pod-structured fabric.
+
+    Pod fabrics (``metadata["pods"]``) split their edges in two tiers:
+    photonic rank-to-rank circuits inside each pod, and static uplinks
+    into the electrical core relay.  Only the former participate in
+    reconfiguration accounting.  Returns ``None`` when the topology is
+    not pod-structured or has no rank-to-rank circuits at all (then the
+    relay rejection above applies).
+    """
+    if not isinstance(topology.metadata.get("pods"), dict):
+        return None
+    relays = frozenset(topology.relay_nodes)
+    circuits = frozenset(
+        (u, v)
+        for u, v, _ in topology.edges()
+        if u not in relays and v not in relays
+    )
+    return circuits or None
 
 
 def touched_ports(previous: Configuration, target: Configuration) -> frozenset:

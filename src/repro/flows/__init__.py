@@ -32,6 +32,17 @@ from .cache import (
     theta_key_digest,
 )
 from .closed_forms import detect_uniform_shift, ring_shift_theta, try_closed_form_theta
+from .delta import (
+    DeltaIndex,
+    FabricState,
+    IncrementalStats,
+    PodDelta,
+    PodPart,
+    ThetaParts,
+    incremental_stats,
+    pod_theta_parts,
+    reset_incremental_stats,
+)
 from .concurrent_flow import (
     Commodity,
     ConcurrentFlowResult,
@@ -86,6 +97,15 @@ __all__ = [
     "BlockStats",
     "block_stats",
     "reset_block_stats",
+    "DeltaIndex",
+    "PodDelta",
+    "FabricState",
+    "PodPart",
+    "ThetaParts",
+    "pod_theta_parts",
+    "IncrementalStats",
+    "incremental_stats",
+    "reset_incremental_stats",
 ]
 
 _METHODS = ("auto", "lp", "lp-warm", "closed", "sp", "proxy", "block")

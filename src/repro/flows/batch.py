@@ -26,6 +26,7 @@ import numpy as np
 from ..exceptions import FlowError
 from ..matching import Matching
 from ..topology.base import Topology
+from .block import _counters as _block_counters
 from .cache import ThroughputCache, default_cache
 from .closed_forms import closed_form_theta_batch
 
@@ -167,6 +168,7 @@ def theta_batch(
                 key = (matchings[index], rates[index])
                 prior = seen.get(key)
                 if prior is not None:
+                    _block_counters.bump("batch_dedup_hits")
                     out[index] = out[prior]
                     continue
                 out[index] = compute_theta(
@@ -215,10 +217,10 @@ def prewarm_closed_forms(
     for matching, value in zip(matchings, values):
         if np.isnan(value):
             continue
-        cache.get_or_compute(
+        cache.seed(
             topology,
             matching,
-            lambda v=float(value): v,
+            float(value),
             tag=f"theta:{method}@{rate!r}",
         )
         seeded += 1

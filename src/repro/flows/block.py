@@ -128,7 +128,10 @@ class BlockStats:
     bound met the running minimum; ``envelope_decided`` counts pods
     priced by a zero-width envelope; ``coarse_solves`` counts coarse
     inter-pod problems evaluated; ``flat_fallbacks`` counts
-    :func:`pod_theta` calls on topologies with no pod structure.
+    :func:`pod_theta` calls on topologies with no pod structure;
+    ``batch_dedup_hits`` counts duplicate rows that
+    :func:`repro.flows.theta_batch` served by copying an earlier row of
+    the same group instead of re-pricing.
     """
 
     pod_solves: int = 0
@@ -137,6 +140,7 @@ class BlockStats:
     envelope_decided: int = 0
     coarse_solves: int = 0
     flat_fallbacks: int = 0
+    batch_dedup_hits: int = 0
 
 
 class _Counters:
@@ -152,6 +156,7 @@ class _Counters:
             self.envelope_decided = 0
             self.coarse_solves = 0
             self.flat_fallbacks = 0
+            self.batch_dedup_hits = 0
 
     def bump(self, field: str, by: int = 1) -> None:
         with self.lock:
@@ -166,6 +171,7 @@ class _Counters:
                 envelope_decided=self.envelope_decided,
                 coarse_solves=self.coarse_solves,
                 flat_fallbacks=self.flat_fallbacks,
+                batch_dedup_hits=self.batch_dedup_hits,
             )
 
 
@@ -219,22 +225,14 @@ def _clear_block_memos() -> None:
     _solution_memo.clear()
 
 
-def _pod_subgraphs(
+def _collect_pod_edges(
     topology: Topology, structure: PodStructure
-) -> tuple[Topology, ...]:
-    """One relabeled subproblem topology per pod, memoized per fabric.
+) -> list[list[tuple[object, object, float]]]:
+    """Per-pod relabeled edge lists (one O(E) pass over the fabric).
 
-    Pod p's subgraph keeps its intra-pod edges (relabeled to local
-    ranks ``0..size-1``) plus its uplinks to the core node.  Equal pods
-    produce fingerprint-identical subgraphs, which is what the
-    subproblem dedup and the warm solver's family cache key on.  An
-    edge joining two pods directly (no core between) voids the
+    An edge joining two pods directly (no core between) voids the
     decomposition and raises.
     """
-    key = (topology.fingerprint(), structure)
-    cached = _subgraph_memo.get(key)
-    if cached is not None:
-        return cached
     core = structure.core
     starts = [start for start, _ in structure.ranges]
     pod_edges: list[list[tuple[object, object, float]]] = [
@@ -264,6 +262,24 @@ def _pod_subgraphs(
                     "the only inter-pod connector"
                 )
             pod_edges[pu].append((u - starts[pu], v - starts[pu], capacity))
+    return pod_edges
+
+
+def _pod_subgraphs(
+    topology: Topology, structure: PodStructure
+) -> tuple[Topology, ...]:
+    """One relabeled subproblem topology per pod, memoized per fabric.
+
+    Pod p's subgraph keeps its intra-pod edges (relabeled to local
+    ranks ``0..size-1``) plus its uplinks to the core node.  Equal pods
+    produce fingerprint-identical subgraphs, which is what the
+    subproblem dedup and the warm solver's family cache key on.
+    """
+    key = (topology.fingerprint(), structure)
+    cached = _subgraph_memo.get(key)
+    if cached is not None:
+        return cached
+    pod_edges = _collect_pod_edges(topology, structure)
     subgraphs = tuple(
         Topology(
             size,
@@ -274,6 +290,26 @@ def _pod_subgraphs(
     )
     _subgraph_memo.put(key, subgraphs)
     return subgraphs
+
+
+def _pod_subgraphs_subset(
+    topology: Topology, structure: PodStructure, pods: set[int]
+) -> dict[int, Topology]:
+    """Subgraphs for the given pods only, skipping the fabric fingerprint.
+
+    The delta path (:mod:`repro.flows.delta`) rebuilds only dirty pods;
+    fingerprinting an n=1024 fabric just to memoize a one-pod rebuild
+    would cost more than the rebuild itself.
+    """
+    pod_edges = _collect_pod_edges(topology, structure)
+    return {
+        p: Topology(
+            structure.ranges[p][1],
+            pod_edges[p],
+            name=f"{topology.name}|pod{p}",
+        )
+        for p in pods
+    }
 
 
 def _commodity_key(commodities: tuple[Commodity, ...]) -> tuple:
@@ -348,6 +384,67 @@ def _coarse_theta(
     return _solve_subproblem(star, commodities, reference_rate)
 
 
+def _partition_matching(
+    structure: PodStructure, matching: Matching
+) -> tuple[
+    list[list[Commodity]],
+    list[dict[int, float]],
+    list[dict[int, float]],
+    dict[tuple[int, int], float],
+]:
+    """Split a matching into per-pod demand: ``(intra, seg_out, seg_in,
+    inter_demand)``.
+
+    ``intra[p]`` holds pod p's local unit commodities (local ranks),
+    ``seg_out[p]`` / ``seg_in[p]`` the aggregated segment demand each
+    local sender pushes to / receiver pulls from the core, and
+    ``inter_demand`` the pod-to-pod aggregate the coarse LP prices.
+    The delta layer diffs these per-pod signatures to decide which pods
+    a pattern change actually touched.
+    """
+    starts = [start for start, _ in structure.ranges]
+
+    def owner(rank: int) -> int:
+        for p, (start, size) in enumerate(structure.ranges):
+            if start <= rank < start + size:
+                return p
+        raise FlowError(
+            f"rank {rank} of the matching is outside the pod ranges"
+        )
+
+    intra: list[list[Commodity]] = [[] for _ in structure.ranges]
+    seg_out: list[dict[int, float]] = [{} for _ in structure.ranges]
+    seg_in: list[dict[int, float]] = [{} for _ in structure.ranges]
+    inter_demand: dict[tuple[int, int], float] = {}
+    for src, dst in matching:
+        ps, pd = owner(src), owner(dst)
+        if ps == pd:
+            intra[ps].append(
+                Commodity(src - starts[ps], dst - starts[ps], 1.0)
+            )
+        else:
+            local_src = src - starts[ps]
+            local_dst = dst - starts[pd]
+            seg_out[ps][local_src] = seg_out[ps].get(local_src, 0.0) + 1.0
+            seg_in[pd][local_dst] = seg_in[pd].get(local_dst, 0.0) + 1.0
+            inter_demand[(ps, pd)] = inter_demand.get((ps, pd), 0.0) + 1.0
+    return intra, seg_out, seg_in, inter_demand
+
+
+def _pod_commodities(
+    core: object,
+    intra: list[Commodity],
+    seg_out: dict[int, float],
+    seg_in: dict[int, float],
+) -> tuple[Commodity, ...]:
+    """One pod's subproblem commodities (intra pairs + core segments)."""
+    return tuple(
+        intra
+        + [Commodity(s, core, d) for s, d in sorted(seg_out.items())]
+        + [Commodity(core, s, d) for s, d in sorted(seg_in.items())]
+    )
+
+
 def pod_theta(
     topology: Topology,
     matching: Matching,
@@ -381,34 +478,10 @@ def pod_theta(
         return float("inf")
 
     subgraphs = _pod_subgraphs(topology, structure)
-    starts = [start for start, _ in structure.ranges]
-
-    def owner(rank: int) -> int:
-        for p, (start, size) in enumerate(structure.ranges):
-            if start <= rank < start + size:
-                return p
-        raise FlowError(
-            f"rank {rank} of the matching is outside the {topology.name!r} "
-            f"pod ranges"
-        )
-
     core = structure.core
-    intra: list[list[Commodity]] = [[] for _ in structure.ranges]
-    seg_out: list[dict[int, float]] = [{} for _ in structure.ranges]
-    seg_in: list[dict[int, float]] = [{} for _ in structure.ranges]
-    inter_demand: dict[tuple[int, int], float] = {}
-    for src, dst in matching:
-        ps, pd = owner(src), owner(dst)
-        if ps == pd:
-            intra[ps].append(
-                Commodity(src - starts[ps], dst - starts[ps], 1.0)
-            )
-        else:
-            local_src = src - starts[ps]
-            local_dst = dst - starts[pd]
-            seg_out[ps][local_src] = seg_out[ps].get(local_src, 0.0) + 1.0
-            seg_in[pd][local_dst] = seg_in[pd].get(local_dst, 0.0) + 1.0
-            inter_demand[(ps, pd)] = inter_demand.get((ps, pd), 0.0) + 1.0
+    intra, seg_out, seg_in, inter_demand = _partition_matching(
+        structure, matching
+    )
 
     current = _coarse_theta(topology, structure, inter_demand, reference_rate)
     if current == 0.0:
@@ -416,11 +489,7 @@ def pod_theta(
 
     entries = []
     for p, subgraph in enumerate(subgraphs):
-        commodities = tuple(
-            intra[p]
-            + [Commodity(s, core, d) for s, d in sorted(seg_out[p].items())]
-            + [Commodity(core, s, d) for s, d in sorted(seg_in[p].items())]
-        )
+        commodities = _pod_commodities(core, intra[p], seg_out[p], seg_in[p])
         if not commodities:
             continue
         # The bounds backend's sandwich (theta_envelope edges) on the

@@ -38,10 +38,12 @@ back via the loop.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
+from collections import OrderedDict
 from collections.abc import AsyncIterator, Mapping
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..exceptions import ConfigurationError, ReproError
 from ..flows import ThroughputCache
@@ -156,6 +158,15 @@ class PlannerDaemon:
         self._tasks: set[asyncio.Task] = set()
         self._seq = 0
         self._started_at = time.time()
+        # Resident incremental-pricing contexts, one per scenario
+        # lineage (base fabric spec + rate + theta method): a streamed
+        # request that is a small perturbation of a seen condition is
+        # delta-priced against the lineage's previous parts instead of
+        # cold-solved.  Worker threads share them (PlanContext is
+        # thread-safe); the dict itself is guarded by its own lock.
+        self._plan_contexts: OrderedDict[tuple, object] = OrderedDict()
+        self._plan_contexts_lock = threading.Lock()
+        self._max_contexts = 16
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -364,9 +375,24 @@ class PlannerDaemon:
         )
 
     def metrics(self) -> dict[str, object]:
-        """The observability snapshot the ``metrics`` kind returns."""
+        """The observability snapshot the ``metrics`` kind returns.
+
+        Besides the daemon's own admission/latency counters and the
+        resident cache statistics, the snapshot surfaces the block
+        solver's work-avoidance counters (``block``, including
+        ``batch_dedup_hits`` from :func:`repro.flows.theta_batch`) and
+        the delta path's (``incremental``, with the derived
+        ``reuse_ratio`` and the number of resident lineage contexts).
+        Both are process-wide counters, shared with any in-process
+        library callers.
+        """
+        from ..flows import block_stats, incremental_stats
+
         snapshot = self.metrics_.snapshot()
         stats = self.cache.stats()
+        inc = incremental_stats()
+        with self._plan_contexts_lock:
+            n_contexts = len(self._plan_contexts)
         snapshot.update(
             version=self.version,
             uptime_s=time.time() - self._started_at,
@@ -388,6 +414,12 @@ class PlannerDaemon:
                     "entries": len(self.store),
                 }
             ),
+            block=asdict(block_stats()),
+            incremental={
+                **asdict(inc),
+                "reuse_ratio": inc.reuse_ratio,
+                "contexts": n_contexts,
+            },
         )
         return snapshot
 
@@ -520,6 +552,48 @@ class PlannerDaemon:
             coalesced=coalesced,
         )
 
+    # -- incremental pricing (worker threads; lock-guarded) ------------------
+
+    def _context_for(self, scenario):
+        """The resident :class:`~repro.engine.PlanContext` for a
+        scenario's fabric lineage, or ``None`` for scenarios the delta
+        path does not cover (non-``block`` theta methods)."""
+        if scenario.theta_method != "block":
+            return None
+        from ..engine.incremental import PlanContext, scenario_lineage
+
+        lineage = scenario_lineage(scenario)
+        with self._plan_contexts_lock:
+            context = self._plan_contexts.get(lineage)
+            if context is None:
+                context = self._plan_contexts[lineage] = PlanContext()
+            self._plan_contexts.move_to_end(lineage)
+            while len(self._plan_contexts) > self._max_contexts:
+                self._plan_contexts.popitem(last=False)
+            return context
+
+    def _prewarm_incremental(self, scenarios) -> int:
+        """Delta-price every step of the given scenarios into the
+        resident cache through their lineage contexts.
+
+        Prewarming is an optimization: a failure here must never fail
+        the request (the cold path prices everything the prewarm
+        skipped), so errors are swallowed per scenario."""
+        from ..engine.incremental import prewarm_scenario_context
+
+        seeded = 0
+        for scenario in scenarios:
+            context = self._context_for(scenario)
+            if context is None:
+                continue
+            try:
+                seeded += prewarm_scenario_context(
+                    scenario, context, cache=self.cache
+                )
+            except Exception:
+                continue
+        return seeded
+
     # -- solving (worker threads; no daemon state mutation) ------------------
 
     def _solve_plan_batch(self, bodies: list[PlanBody]) -> list[Outcome]:
@@ -539,6 +613,7 @@ class PlannerDaemon:
             )
             for body in bodies
         ]
+        self._prewarm_incremental([body.scenario for body in bodies])
         try:
             results = plan_many(requests, cache=self.cache)
             return [("ok", result.to_dict()) for result in results]
@@ -575,6 +650,7 @@ class PlannerDaemon:
             )
             for scenario in body.scenarios
         ]
+        self._prewarm_incremental(body.scenarios)
         delivered: set[int] = set()
 
         def emit(index: int, outcome: Outcome) -> None:
@@ -607,6 +683,7 @@ class PlannerDaemon:
                 from ..engine.api import plan_many
                 from ..planner.result import PlanRequest
 
+                self._prewarm_incremental(body.scenarios)
                 results = plan_many(
                     [
                         PlanRequest(
@@ -628,6 +705,7 @@ class PlannerDaemon:
             if isinstance(body, SimulateBody):
                 from ..sim.executor import simulate_plan
 
+                self._prewarm_incremental([body.scenario])
                 result = simulate_plan(
                     body.scenario,
                     solver=body.solver,
@@ -639,14 +717,23 @@ class PlannerDaemon:
                 return ("ok", result.to_dict())
             if isinstance(body, WorkloadBody):
                 from ..sim.workload import simulate_workload
+                from ..workload.policies import _DELTA_POLICIES
 
+                options = dict(body.options)
+                if body.policy in _DELTA_POLICIES and body.workload.phases:
+                    # Delta policies prewarm through the lineage's
+                    # resident context, so successive workloads on the
+                    # same (perturbed) fabric delta against each other.
+                    context = self._context_for(body.workload.phases[0])
+                    if context is not None:
+                        options.setdefault("plan_context", context)
                 result = simulate_workload(
                     body.workload,
                     policy=body.policy,
                     solver=body.solver,
                     reconfiguration_model=body.reconfiguration_model,
                     cache=self.cache,
-                    **dict(body.options),
+                    **options,
                 )
                 return ("ok", result.to_dict())
             if isinstance(body, DegradationBody):

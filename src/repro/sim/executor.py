@@ -158,7 +158,11 @@ class SimResult:
     fault_log:
         Mid-run health changes the simulator applied: ``(time, kind,
         label)`` rows, kind ``"inject"`` or ``"repair"``.  Empty for
-        fault-free runs.  When non-empty the plan did *not* see the
+        fault-free runs.  ``fault_pod_log`` aligns with it on
+        pod-structured fabrics: ``(time, dirty_pods)`` rows naming the
+        pods each transition touched — what an incremental replanner
+        would re-solve.  When ``fault_log`` is non-empty the plan did
+        *not* see the
         faults coming, so :attr:`slowdown` (measured over planned) is
         the achieved-vs-planned degradation report.
     """
@@ -173,6 +177,7 @@ class SimResult:
     steps: tuple[SimStep, ...]
     link_utilization: tuple[tuple[tuple[object, object], float], ...] = ()
     fault_log: tuple[tuple[float, str, str], ...] = ()
+    fault_pod_log: tuple[tuple[float, tuple[int, ...]], ...] = ()
 
     # -- conveniences --------------------------------------------------------
 
@@ -235,6 +240,9 @@ class SimResult:
             "fault_log": [
                 [time, kind, label] for time, kind, label in self.fault_log
             ],
+            "fault_pod_log": [
+                [time, list(pods)] for time, pods in self.fault_pod_log
+            ],
         }
 
     @classmethod
@@ -260,6 +268,10 @@ class SimResult:
             fault_log=tuple(
                 (float(time), str(kind), str(label))
                 for time, kind, label in data.get("fault_log", ())
+            ),
+            fault_pod_log=tuple(
+                (float(time), tuple(int(p) for p in pods))
+                for time, pods in data.get("fault_pod_log", ())
             ),
         )
 
@@ -515,4 +527,5 @@ def simulate_plan(
         steps=steps,
         link_utilization=utilization,
         fault_log=result.fault_log,
+        fault_pod_log=result.fault_pod_log,
     )

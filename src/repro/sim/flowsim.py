@@ -89,6 +89,14 @@ class SimulationResult:
     ``fault_log`` records the mid-run health changes actually applied:
     ``(time, kind, label)`` rows where kind is ``"inject"`` or
     ``"repair"`` (empty when the run had no fault schedule).
+
+    ``fault_pod_log`` localizes each applied health transition on
+    pod-structured fabrics: ``(time, dirty_pods)`` rows aligned with
+    ``fault_log``, where ``dirty_pods`` is the tuple of pod indices the
+    transition touched (as diffed by
+    :class:`~repro.flows.DeltaIndex`) — the pods an incremental
+    replanner would re-solve.  Empty on flat fabrics and fault-free
+    runs.
     """
 
     total_time: float
@@ -98,6 +106,7 @@ class SimulationResult:
     n_reconfigurations: int
     final_configuration: Configuration | None = None
     fault_log: tuple[tuple[float, str, str], ...] = ()
+    fault_pod_log: tuple[tuple[float, tuple[int, ...]], ...] = ()
 
     @property
     def communication_time(self) -> float:
@@ -308,6 +317,14 @@ class FlowLevelSimulator:
         live_topology = self._live_topology
         live_health = self.health
         fault_log: list[tuple[float, str, str]] = []
+        fault_pod_log: list[tuple[float, tuple[int, ...]]] = []
+        delta_index = None
+        if pending:
+            from ..flows import DeltaIndex, pod_structure
+
+            structure = pod_structure(self.topology)
+            if structure is not None:
+                delta_index = DeltaIndex(structure)
 
         previous = Decision.BASE
         current_config = (
@@ -320,6 +337,7 @@ class FlowLevelSimulator:
         for index, step in enumerate(collective.steps):
             while pending and pending[0].time <= queue.now + 1e-18:
                 event = pending.pop(0)
+                previous_health = live_health
                 if event.health is None or event.health.is_pristine:
                     live_health = self.health
                     live_topology = self._live_topology
@@ -339,6 +357,14 @@ class FlowLevelSimulator:
                 )
                 trace.record(queue.now, trace_kind, index, detail=label)
                 fault_log.append((queue.now, kind, label))
+                if delta_index is not None:
+                    delta = delta_index.diff_health(previous_health, live_health)
+                    dirty = (
+                        tuple(range(delta_index.structure.n_pods))
+                        if delta.full
+                        else tuple(sorted(delta.dirty_pods))
+                    )
+                    fault_pod_log.append((queue.now, dirty))
             decision = schedule.decisions[index]
             if self.accounting == "physical":
                 if decision is Decision.MATCHED:
@@ -428,4 +454,5 @@ class FlowLevelSimulator:
                 current_config if self.accounting == "physical" else None
             ),
             fault_log=tuple(fault_log),
+            fault_pod_log=tuple(fault_pod_log),
         )

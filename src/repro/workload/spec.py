@@ -96,9 +96,12 @@ class Workload:
     def base_configuration(self) -> Configuration:
         """The circuit set of the standing base topology.
 
-        Raises :class:`~repro.exceptions.WorkloadError` for fabrics with
-        relay nodes — those have no single optical-circuit realization,
-        so physical reconfiguration accounting cannot price them.
+        For pod fabrics this is the intra-pod rank-to-rank circuit
+        layer (uplinks into the electrical core are static and never
+        reconfigure).  Raises :class:`~repro.exceptions.WorkloadError`
+        for other relay fabrics — those have no optical-circuit
+        realization, so physical reconfiguration accounting cannot
+        price them.
         """
         topology = self.build_topology()
         try:

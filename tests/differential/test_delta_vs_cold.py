@@ -1,0 +1,173 @@
+"""Delta-aware incremental pricing vs cold block pricing: 1e-9.
+
+The delta path (:mod:`repro.flows.delta` driven through a
+:class:`repro.engine.PlanContext`) claims *exactness*: re-solving only
+the pods a perturbation touched — and reusing cached exact values and
+certified bounds everywhere else — must produce the same theta as
+pricing the perturbed fabric from scratch.  These tests drive
+hypothesis-generated *chains* of perturbations (port dimming, uplink
+health changes, demand drift) through one context and pin every link of
+the chain against the cold block path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from families import RATE, agree
+from test_block_vs_flat import fabric_matchings, pod_fabrics
+from repro.engine import PlanContext
+from repro.fabric.degradation import FabricHealth
+from repro.flows import pod_theta, pod_theta_parts
+from repro.flows.block import _clear_block_memos
+from repro.matching import Matching
+from repro.topology import PodFabric
+
+TOL = 1e-9
+
+
+def cold_theta(topology, matching) -> float:
+    """Ground truth: cold block pricing with no memo reuse at all."""
+    _clear_block_memos()
+    return pod_theta(topology, matching, RATE)
+
+
+@st.composite
+def health_conditions(draw, n: int) -> FabricHealth | None:
+    """A small intra-pod health overlay (or pristine)."""
+    if draw(st.booleans()):
+        return None
+    ranks = draw(
+        st.lists(st.integers(0, n - 1), unique=True, min_size=1, max_size=3)
+    )
+    values = draw(
+        st.lists(
+            st.sampled_from([0.25, 0.5, 0.75]),
+            min_size=len(ranks),
+            max_size=len(ranks),
+        )
+    )
+    return FabricHealth(port_multipliers=tuple(zip(ranks, values)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_health_perturbation_chains(data):
+    """Chains of health overlays on one fabric: every link delta == cold."""
+    from repro.engine.incremental import FabricState
+
+    fabric = data.draw(pod_fabrics())
+    base = fabric.flat_topology()
+    matching = data.draw(fabric_matchings(fabric.n))
+    if len(matching) == 0:
+        return
+    context = PlanContext()
+    steps = data.draw(st.integers(2, 4))
+    for _ in range(steps):
+        health = data.draw(health_conditions(fabric.n))
+        topology = base if health is None else health.apply(base)
+        state = FabricState(base_key=("fabric", fabric), health=health)
+        delta = context.price(topology, matching, RATE, state)
+        cold = cold_theta(topology, matching)
+        assert agree(delta, cold, TOL), (
+            f"delta={delta!r} cold={cold!r} health={health!r} on "
+            f"{topology.name!r}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_demand_drift_chains(data):
+    """Matching-to-matching drift with hints: delta == cold per step."""
+    from repro.engine.incremental import FabricState
+
+    fabric = data.draw(pod_fabrics())
+    topology = fabric.flat_topology()
+    state = FabricState(base_key=("fabric", fabric))
+    context = PlanContext()
+    previous: Matching | None = None
+    for _ in range(data.draw(st.integers(2, 4))):
+        matching = data.draw(fabric_matchings(fabric.n))
+        if len(matching) == 0:
+            continue
+        delta = context.price(topology, matching, RATE, state, hint=previous)
+        cold = cold_theta(topology, matching)
+        assert agree(delta, cold, TOL), (
+            f"delta={delta!r} cold={cold!r} with {len(matching)} pairs on "
+            f"{topology.name!r}"
+        )
+        previous = matching
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_uplink_perturbation_chains(data):
+    """Per-pod uplink health changes across a shared lineage."""
+    from repro.engine.incremental import FabricState
+
+    n_pods = data.draw(st.integers(2, 3))
+    sizes = tuple(
+        data.draw(st.lists(st.integers(3, 5), min_size=n_pods, max_size=n_pods))
+    )
+    matching = None
+    context = PlanContext()
+    base_key = ("podfabric", sizes)
+    for _ in range(data.draw(st.integers(2, 4))):
+        multipliers = tuple(
+            data.draw(
+                st.lists(
+                    st.sampled_from([0.25, 0.5, 1.0]),
+                    min_size=n_pods,
+                    max_size=n_pods,
+                )
+            )
+        )
+        fabric = PodFabric(
+            pod_sizes=sizes,
+            bandwidth=RATE,
+            uplinks_per_pod=1,
+            uplink_multipliers=multipliers,
+        )
+        topology = fabric.flat_topology()
+        if matching is None:
+            matching = data.draw(fabric_matchings(fabric.n))
+            if len(matching) == 0:
+                return
+        state = FabricState(
+            base_key=base_key, uplink_multipliers=multipliers
+        )
+        delta = context.price(topology, matching, RATE, state)
+        cold = cold_theta(topology, matching)
+        assert agree(delta, cold, TOL), (
+            f"delta={delta!r} cold={cold!r} uplinks={multipliers} on "
+            f"{topology.name!r}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_parts_reuse_matches_fresh_parts(data):
+    """pod_theta_parts with explicit prev/delta == a fresh evaluation."""
+    from repro.flows import DeltaIndex, pod_structure
+
+    fabric = data.draw(pod_fabrics())
+    base = fabric.flat_topology()
+    matching = data.draw(fabric_matchings(fabric.n))
+    if len(matching) == 0:
+        return
+    structure = pod_structure(base)
+    prev = pod_theta_parts(base, matching, RATE)
+    health = data.draw(health_conditions(fabric.n))
+    topology = base if health is None else health.apply(base)
+    delta = DeltaIndex(structure).diff_health(None, health)
+    incremental = pod_theta_parts(
+        topology, matching, RATE, prev=prev, delta=delta
+    )
+    fresh = pod_theta_parts(topology, matching, RATE)
+    assert agree(incremental.theta, fresh.theta, TOL)
+    # Certified-bound invariant: every non-exact part's value is a
+    # true lower bound on the pod's exact subproblem optimum, so it
+    # never undercuts the reported theta.
+    for part in incremental.pods:
+        if part is not None and not part.exact:
+            assert part.value >= incremental.theta - TOL

@@ -281,3 +281,103 @@ class TestEngineAndPlannerIntegration:
                     options=(("inner", "block"),),
                 )
             )
+
+
+class TestHealthCompositionOnPodFabrics:
+    """FabricHealth.apply stacks cleanly on pod fabrics.
+
+    Two invariants the delta machinery leans on: sequential applies
+    never lose the ``pods`` metadata (or the original family) that
+    :func:`pod_structure` keys on, and port-level degradation commutes
+    with construction-time uplink health — dimming a rank then scaling
+    its uplinks gives the same capacities as scaling then dimming.
+    """
+
+    @staticmethod
+    def _health(draw, st, n):
+        from repro.fabric.degradation import FabricHealth
+
+        ranks = draw(
+            st.lists(st.integers(0, n - 1), unique=True, min_size=1, max_size=3)
+        )
+        values = draw(
+            st.lists(
+                st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+                min_size=len(ranks),
+                max_size=len(ranks),
+            )
+        )
+        return FabricHealth(port_multipliers=tuple(zip(ranks, values)))
+
+    def test_sequential_applies_preserve_pod_metadata(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(data=st.data())
+        def run(data):
+            sizes = tuple(
+                data.draw(
+                    st.lists(st.integers(3, 5), min_size=2, max_size=3)
+                )
+            )
+            f = fabric(sizes)
+            base = f.flat_topology()
+            h1 = self._health(data.draw, st, f.n)
+            h2 = self._health(data.draw, st, f.n)
+            once = h1.apply(base)
+            twice = h2.apply(once)
+            for degraded in (once, twice):
+                meta = degraded.metadata
+                assert meta["pods"] == base.metadata["pods"]
+                # A pristine overlay applies as a no-op and keeps
+                # ``family``; a real one must carry ``base_family``.
+                family = meta.get("base_family", meta.get("family"))
+                assert family == "podfabric"
+                assert meta["reference_rate"] == RATE
+                assert pod_structure(degraded) == pod_structure(base)
+
+        run()
+
+    def test_port_health_commutes_with_uplink_multipliers(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(data=st.data())
+        def run(data):
+            sizes = tuple(
+                data.draw(
+                    st.lists(st.integers(3, 5), min_size=2, max_size=3)
+                )
+            )
+            pristine = fabric(sizes)
+            uplinks = tuple(
+                data.draw(
+                    st.lists(
+                        st.sampled_from([0.25, 0.5, 1.0]),
+                        min_size=len(sizes),
+                        max_size=len(sizes),
+                    )
+                )
+            )
+            scaled = fabric(sizes, uplink_multipliers=uplinks)
+            health = self._health(data.draw, st, pristine.n)
+            reference = {
+                (u, v): capacity
+                for u, v, capacity in health.apply(
+                    pristine.flat_topology()
+                ).edges()
+            }
+            for u, v, capacity in health.apply(scaled.flat_topology()).edges():
+                rank = v if u == CORE else u
+                factor = (
+                    uplinks[pristine.pod_of(rank)]
+                    if CORE in (u, v)
+                    else 1.0
+                )
+                expected = reference[(u, v)] * factor
+                assert math.isclose(capacity, expected, rel_tol=1e-12), (
+                    f"edge {(u, v)}: {capacity} != {expected} "
+                    f"(uplinks={uplinks}, sizes={sizes})"
+                )
+
+        run()

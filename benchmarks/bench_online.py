@@ -1,0 +1,155 @@
+"""The online control loop priced: regret, overhead, estimator cost.
+
+Three numbers the PR stands on:
+
+* the headline acceptance run — at n=64 on the seeded drifting-MoE
+  trace the estimating ``online-ewma`` controller must reach >= 80% of
+  the clairvoyant oracle's throughput-time and strictly beat the
+  static no-replan floor (the same gate ``test_control_golden.py``
+  asserts, recorded here with wall time);
+* the controller's overhead per phase over clairvoyant planning on a
+  warm theta cache — what closing the loop costs when theta solves are
+  already amortized;
+* raw estimator throughput at n=256 — de-censoring and folding a dense
+  phase of telemetry (n*(n-1) rows) into the EWMA.
+
+Lands in ``BENCH_online.json`` (via ``--bench-json``) and is gated by
+``check_regression.py`` against the CPU-tagged baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import measure_regret
+from repro.control import EwmaDemandEstimator
+from repro.flows import ThroughputCache
+from repro.planner import Scenario
+from repro.sim import RateObservation
+from repro.units import Gbps, MiB, ns, us
+from repro.workload import (
+    drifting_moe_trace,
+    piecewise_stationary_trace,
+    plan_workload,
+)
+
+SEED = 11
+
+#: Acceptance floor: the estimating controller's aggregate
+#: throughput-time vs the clairvoyant oracle on the same trace.
+MIN_EFFICIENCY = 0.8
+
+
+def base_scenario(n, message_mib=8.0):
+    return Scenario.create(
+        "allreduce_recursive_doubling",
+        n=n,
+        message_size=MiB(message_mib),
+        bandwidth=Gbps(800),
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+    )
+
+
+@pytest.mark.benchmark(group="online")
+def test_n64_drifting_moe_regret(results_dir, bench_record):
+    workload = drifting_moe_trace(base_scenario(64), layers=6, seed=SEED)
+    start = time.perf_counter()
+    report = measure_regret(
+        workload, policy="online-ewma", cache=ThroughputCache()
+    )
+    wall_s = time.perf_counter() - start
+
+    bench_record(
+        n=64,
+        num_phases=len(workload),
+        regret_wall_s=wall_s,
+        policy_total=report.policy_total,
+        oracle_total=report.oracle_total,
+        static_total=report.baseline_total,
+        efficiency=report.efficiency,
+        beats_static=report.beats_baseline,
+    )
+    (results_dir / "online_regret.txt").write_text(
+        f"n=64 phases={len(workload)} efficiency={report.efficiency:.1%} "
+        f"static_floor={report.baseline_efficiency:.1%} "
+        f"regret={report.regret:.3e}s wall={wall_s:.2f}s\n"
+    )
+    assert report.efficiency >= MIN_EFFICIENCY, (
+        f"online-ewma at {report.efficiency:.1%} of oracle "
+        f"(floor {MIN_EFFICIENCY:.0%})"
+    )
+    assert report.beats_baseline, (
+        "online-ewma did not beat the static no-replan baseline "
+        f"(policy={report.policy_total:.3e} "
+        f"static={report.baseline_total:.3e})"
+    )
+
+
+@pytest.mark.benchmark(group="online")
+def test_controller_overhead_per_phase(bench_record):
+    """What the estimate-plan-observe loop adds over clairvoyant
+    planning once theta solves are cache-warm."""
+    workload = piecewise_stationary_trace(
+        base_scenario(32), segments=3, segment_length=4, seed=SEED
+    )
+    cache = ThroughputCache()
+    plan_workload(workload, policy="oracle", cache=cache)  # warm thetas
+
+    start = time.perf_counter()
+    oracle_plan = plan_workload(workload, policy="oracle", cache=cache)
+    oracle_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    online_plan = plan_workload(workload, policy="online-ewma", cache=cache)
+    online_s = time.perf_counter() - start
+
+    assert oracle_plan.total_time <= online_plan.total_time * (1 + 1e-12)
+    phases = len(workload)
+    bench_record(
+        overhead_n=32,
+        overhead_phases=phases,
+        oracle_warm_s=oracle_s,
+        online_warm_s=online_s,
+        overhead_per_phase_s=max(online_s - oracle_s, 0.0) / phases,
+    )
+
+
+@pytest.mark.benchmark(group="online")
+def test_estimator_throughput_n256(bench_record):
+    """De-censor and fold one dense telemetry phase at n=256."""
+    n = 256
+    delta = ns(100)
+    rows = [
+        RateObservation(
+            step=0,
+            src=src,
+            dst=dst,
+            rate=Gbps(800) / n,
+            start=0.0,
+            end=1e-3 + delta * (1 + (src ^ dst) % 4),
+            hops=1 + (src ^ dst) % 4,
+            decision="base",
+        )
+        for src in range(n)
+        for dst in range(n)
+        if src != dst
+    ]
+    estimator = EwmaDemandEstimator(n, beta=0.5)
+    phases = 5
+    start = time.perf_counter()
+    for _ in range(phases):
+        estimator.observe(rows, delta=delta)
+    observe_s = (time.perf_counter() - start) / phases
+
+    estimate = estimator.estimate()
+    assert estimate is not None and estimate.shape == (n, n)
+    bench_record(
+        estimator_n=n,
+        rows_per_phase=len(rows),
+        observe_s_per_phase=observe_s,
+        rows_per_s=len(rows) / observe_s,
+    )

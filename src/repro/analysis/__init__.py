@@ -1,10 +1,11 @@
 """Analysis layer: sweeps, speedup grids, heatmaps, regime census,
-adaptivity comparisons."""
+adaptivity comparisons, online-control regret."""
 
 from .adaptivity import PhaseRecord, PolicyComparison, compare_policies
 from .heatmap import render_grid, render_shaded
 from .propagation import PropagationRecord, propagation_study
 from .regimes import RegimeCensus, census
+from .regret import PhaseRegret, RegretReport, measure_regret
 from .speedup import COMPARATORS, SpeedupGrid, compute_speedup_grid
 from .sweep import SweepRecord, sweep_alpha_r, sweep_parameter
 
@@ -24,4 +25,7 @@ __all__ = [
     "PhaseRecord",
     "PolicyComparison",
     "compare_policies",
+    "PhaseRegret",
+    "RegretReport",
+    "measure_regret",
 ]

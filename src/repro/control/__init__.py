@@ -1,0 +1,72 @@
+"""Online control: estimate the collective will, then plan against it.
+
+Everything before this package plans from *declared* demand; the paper's
+actual vision (§4) is a photonic domain that adapts to demand it can
+only **observe**.  This package closes that loop:
+
+* :mod:`~repro.control.estimator` — de-censor per-flow achieved rates
+  (:class:`~repro.sim.RateObservation` telemetry) into demand matrices,
+  smoothed by a bias-corrected EWMA or a sliding window;
+* :mod:`~repro.control.controller` — the
+  :class:`OnlineController` decide → execute → observe loop with
+  pluggable replan triggers (periodic, estimate-drift, fault-driven);
+* :mod:`~repro.control.policy` — the controller registered as workload
+  policies ``online-ewma`` / ``online-window`` / ``online-static``, so
+  regret against the clairvoyant ``oracle`` is measurable on any trace
+  (:mod:`repro.analysis.regret`).
+
+Importing the package registers the policies; the registry in
+:mod:`repro.workload.policies` imports it lazily on first miss, so
+``plan_workload(..., policy="online-ewma")`` just works.
+"""
+
+from .controller import (
+    AlwaysTrigger,
+    AnyTrigger,
+    ControlError,
+    DriftTrigger,
+    FaultTrigger,
+    NeverTrigger,
+    OnlineController,
+    OnlineDecision,
+    PeriodicTrigger,
+    TriggerPolicy,
+    TriggerSignal,
+    make_trigger,
+    mask_demand,
+)
+from .estimator import (
+    ESTIMATOR_KINDS,
+    DemandEstimator,
+    EstimationError,
+    EwmaDemandEstimator,
+    SlidingWindowDemandEstimator,
+    demand_from_observations,
+    make_estimator,
+)
+from .policy import ONLINE_POLICIES, run_controller_loop
+
+__all__ = [
+    "ControlError",
+    "EstimationError",
+    "demand_from_observations",
+    "DemandEstimator",
+    "EwmaDemandEstimator",
+    "SlidingWindowDemandEstimator",
+    "make_estimator",
+    "ESTIMATOR_KINDS",
+    "OnlineController",
+    "OnlineDecision",
+    "mask_demand",
+    "TriggerPolicy",
+    "TriggerSignal",
+    "AlwaysTrigger",
+    "NeverTrigger",
+    "PeriodicTrigger",
+    "DriftTrigger",
+    "FaultTrigger",
+    "AnyTrigger",
+    "make_trigger",
+    "ONLINE_POLICIES",
+    "run_controller_loop",
+]

@@ -1,0 +1,132 @@
+"""The online controller as registered workload policies.
+
+``online-ewma``, ``online-window``, and ``online-static`` plug the
+:class:`~repro.control.OnlineController` loop into the standard policy
+registry, so every existing comparison surface — ``plan_workload``,
+``workload_many``, :func:`~repro.analysis.compare_policies`, the
+experiment grids, the service daemon — can run the estimation-driven
+planner next to ``replan`` / ``hysteresis`` / ``oracle`` unchanged.
+
+Information honesty: the policy *never* hands the controller a phase's
+true demand.  Each phase it (1) masks the scenario's message size and
+asks the controller to :meth:`~repro.control.OnlineController.decide`,
+(2) executes the committed schedule on the flow simulator under the
+**true** scenario — physical accounting, carried circuit configuration,
+``observe_rates=True`` — and (3) feeds the realized telemetry back via
+:meth:`~repro.control.OnlineController.observe`.  The controller's
+realized cost then comes from :func:`~repro.workload.plan_workload`
+evaluating the committed schedules against the true step costs, so an
+estimation mistake is *paid for*, not hidden.
+
+``online-static`` is the never-replanning, never-estimating baseline
+(each structure planned once at the prior): the floor
+:mod:`repro.analysis.regret` requires the adaptive controllers to beat.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.schedule import Schedule
+from ..sim.flowsim import FlowLevelSimulator
+from ..workload.policies import (
+    PolicyContext,
+    _policy_options,
+    register_policy,
+)
+from .controller import DEFAULT_PRIOR_MESSAGE_SIZE, OnlineController, mask_demand
+
+__all__ = ["ONLINE_POLICIES", "run_controller_loop"]
+
+#: Options every online policy accepts (forwarded to the controller).
+_ONLINE_OPTIONS = (
+    "prior_message_size",
+    "trigger",
+    "drift_threshold",
+    "replan_every",
+    "beta",
+    "window",
+)
+
+
+def run_controller_loop(
+    controller: OnlineController,
+    context: PolicyContext,
+) -> list[Schedule]:
+    """Drive the decide → execute → observe loop over a workload.
+
+    The realized execution mirrors what :func:`~repro.sim.simulate_workload`
+    will do with the committed schedules — physical accounting, the
+    workload's reconfiguration model, per-phase health, carried circuit
+    state — so the telemetry the controller learns from is exactly what
+    the fabric would report.
+    """
+    workload = context.workload
+    topology = workload.build_topology()
+    base = workload.base_configuration()
+    carried = base
+    schedules: list[Schedule] = []
+    for scenario in workload.phases:
+        decision = controller.decide(mask_demand(scenario))
+        simulator = FlowLevelSimulator(
+            topology,
+            scenario.cost,
+            rate_method="mcf",
+            accounting="physical",
+            reconfiguration_model=context.model,
+            cache=context.cache,
+            health=scenario.health,
+            live_topology=scenario.build_topology(),
+        )
+        result = simulator.run(
+            scenario.build_collective(),
+            decision.schedule,
+            initial_configuration=carried,
+            observe_rates=True,
+        )
+        controller.observe(
+            result.rate_observations, delta=scenario.cost.delta
+        )
+        carried = (
+            result.final_configuration
+            if result.final_configuration is not None
+            else base
+        )
+        schedules.append(decision.schedule)
+    return schedules
+
+
+def _online_policy(
+    estimator: "str | None",
+    default_trigger: str,
+):
+    def policy(context: PolicyContext) -> Sequence[Schedule]:
+        options = _policy_options(context, _ONLINE_OPTIONS)
+        controller = OnlineController(
+            estimator=estimator,
+            trigger=str(options.get("trigger", default_trigger)),
+            prior_message_size=float(
+                options.get("prior_message_size", DEFAULT_PRIOR_MESSAGE_SIZE)
+            ),
+            reconfiguration_model=context.model,
+            beta=float(options.get("beta", 0.5)),
+            window=int(options.get("window", 4)),
+            drift_threshold=float(options.get("drift_threshold", 0.1)),
+            replan_every=int(options.get("replan_every", 4)),
+            cache=context.cache,
+        )
+        return run_controller_loop(controller, context)
+
+    return policy
+
+
+#: name -> (estimator kind, default trigger spec)
+ONLINE_POLICIES: dict[str, tuple["str | None", str]] = {
+    "online-ewma": ("ewma", "drift+fault"),
+    "online-window": ("window", "drift+fault"),
+    "online-static": (None, "never"),
+}
+
+for _name, (_estimator, _trigger) in ONLINE_POLICIES.items():
+    register_policy(_name, _online_policy(_estimator, _trigger))
+del _name, _estimator, _trigger

@@ -266,6 +266,7 @@ def sim_many(
     check_model: bool = True,
     parallel_backend: str | None = None,
     on_result=None,
+    observe_rates: bool = False,
     **options,
 ) -> list:
     """Simulate a batch of planned collectives, optionally in parallel.
@@ -281,7 +282,9 @@ def sim_many(
     Under ``parallel_backend="process"`` results round-trip through
     their dict forms, so the per-event ``trace`` (which is deliberately
     not serialized) comes back empty; every serialized field is
-    bit-identical to a serial run.
+    bit-identical to a serial run.  Rate observations requested with
+    ``observe_rates=True`` *are* serialized, so the controller-facing
+    telemetry survives the process backend intact.
     """
     from ..planner.result import PlanResult
     from ..sim.executor import SimResult, simulate_plan
@@ -293,6 +296,7 @@ def sim_many(
         "compute_overlap": compute_overlap,
         "collect_utilization": collect_utilization,
         "check_model": check_model,
+        "observe_rates": observe_rates,
     }
 
     def run_one(item):
@@ -341,6 +345,7 @@ def workload_many(
     check_model: bool = True,
     parallel_backend: str | None = None,
     on_result=None,
+    observe_rates: bool = False,
     **options,
 ) -> list:
     """Plan and execute a batch of workloads, optionally in parallel.
@@ -362,6 +367,7 @@ def workload_many(
         "rate_method": rate_method,
         "collect_utilization": collect_utilization,
         "check_model": check_model,
+        "observe_rates": observe_rates,
     }
 
     def run_one(item):

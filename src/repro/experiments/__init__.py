@@ -18,6 +18,13 @@ from .degradation import (
 from .figure1 import PanelResult, panel_by_id, run_figure1, run_panel
 from .figure2 import run_figure2
 from .io import panel_report, write_panel_csv
+from .online_grid import (
+    ONLINE_GRID_POLICIES,
+    ONLINE_GRID_TRACES,
+    OnlineCell,
+    online_grid_report,
+    run_online_grid,
+)
 from .workload_grid import (
     WORKLOAD_TRACES,
     WorkloadCell,
@@ -54,4 +61,9 @@ __all__ = [
     "degradation_base_scenario",
     "run_degradation_grid",
     "degradation_grid_report",
+    "OnlineCell",
+    "ONLINE_GRID_TRACES",
+    "ONLINE_GRID_POLICIES",
+    "run_online_grid",
+    "online_grid_report",
 ]

@@ -16,6 +16,11 @@ Subcommands:
   one collective under pristine/failed/dimmed/hotspot/lost-wavelength
   fabrics with the ``dp`` and fault-avoiding ``avoid`` solvers, and
   report slowdowns over the pristine fabric.
+* ``online [...]``    — the online control loop: run an
+  estimation-driven ``online-*`` policy on a (stochastic) trace and
+  report its regret against the clairvoyant ``oracle`` and the
+  never-replanning ``online-static`` floor; ``--grid`` runs the full
+  stochastic-traces x online-policies grid.
 * ``serve [...]``     — run the planner daemon as a service (unix
   socket, TCP, or stdio JSONL); ``--smoke N`` runs the concurrent
   self-test CI uses.
@@ -227,6 +232,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the grid cells as JSON to FILE (or stdout when no "
         "file is given)",
+    )
+
+    online_cmd = sub.add_parser(
+        "online",
+        help="run an estimation-driven online policy on a trace and "
+        "report regret vs the clairvoyant oracle",
+    )
+    _add_scenario_flags(online_cmd)
+    online_cmd.add_argument(
+        "--trace",
+        default="piecewise",
+        help=f"trace kind; one of {available_traces()}",
+    )
+    online_cmd.add_argument(
+        "--phases", type=int, default=12, help="approximate phase budget"
+    )
+    online_cmd.add_argument(
+        "--policy",
+        default="online-ewma",
+        help="estimation-driven policy (online-ewma / online-window)",
+    )
+    online_cmd.add_argument(
+        "--solver", default="dp", help="per-phase solver for the planner"
+    )
+    online_cmd.add_argument(
+        "--grid",
+        action="store_true",
+        help="run the stochastic-traces x online-policies grid instead "
+        "(--trace/--policy do not apply)",
+    )
+    online_cmd.add_argument(
+        "--json",
+        type=Path,
+        nargs="?",
+        const=Path("-"),
+        default=None,
+        help="write the RegretReport (or grid cells) as JSON to FILE "
+        "(or stdout when no file is given)",
     )
 
     serve_cmd = sub.add_parser(
@@ -576,6 +619,65 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_online(args: argparse.Namespace) -> int:
+    from ..analysis.regret import measure_regret
+    from .online_grid import online_grid_report, run_online_grid
+
+    base = _plan_scenario(args)
+    if args.dump_scenario:
+        print(json.dumps(base.to_dict(), indent=2))
+        return 0
+
+    if args.grid:
+        cells = run_online_grid(
+            phases=args.phases, solver=args.solver, base=base
+        )
+        print(online_grid_report(cells))
+        if args.json is not None:
+            payload = json.dumps(
+                [cell.to_dict() for cell in cells], indent=2
+            )
+            if str(args.json) == "-":
+                print(payload)
+            else:
+                args.json.write_text(payload)
+                print(f"wrote {args.json}")
+        return 0
+
+    workload = build_trace(args.trace, base, args.phases)
+    report = measure_regret(workload, policy=args.policy, solver=args.solver)
+    print(
+        f"online control: {args.trace}, {len(workload)} phases, "
+        f"n={workload.n}, policy={report.policy}"
+    )
+    for phase in report.phases:
+        print(
+            f"  phase {phase.index:>2} {phase.name:<24} "
+            f"{format_time(phase.policy_time):>10}  "
+            f"oracle={format_time(phase.oracle_time):>10}  "
+            f"cum regret={format_time(phase.cumulative_regret)}"
+        )
+    print(
+        f"{report.policy}: {format_time(report.policy_total)}  "
+        f"oracle: {format_time(report.oracle_total)}  "
+        f"static: {format_time(report.baseline_total)}"
+    )
+    print(
+        f"  regret {format_time(report.regret)} "
+        f"(efficiency {report.efficiency:.1%}, static floor "
+        f"{report.baseline_efficiency:.1%}); "
+        f"beats static: {'yes' if report.beats_baseline else 'NO'}"
+    )
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if str(args.json) == "-":
+            print(payload)
+        else:
+            args.json.write_text(payload)
+            print(f"wrote {args.json}")
+    return 0
+
+
 def _run_degradation(args: argparse.Namespace) -> int:
     base = _plan_scenario(args)
     if args.dump_scenario:
@@ -640,6 +742,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "degradation":
         return _run_degradation(args)
+
+    if args.command == "online":
+        return _run_online(args)
 
     if args.command == "serve":
         from .serve import run_serve

@@ -25,7 +25,10 @@ from ..units import MiB, format_time, ns
 from ..workload.spec import Workload
 from ..workload.traces import (
     bursty_trace,
+    drifting_moe_trace,
     moe_trace,
+    piecewise_stationary_trace,
+    poisson_multitenant_trace,
     steady_trace,
     training_loop_trace,
 )
@@ -34,12 +37,18 @@ from .config import PAPER_CONFIG, PaperConfig
 __all__ = [
     "WorkloadCell",
     "WORKLOAD_TRACES",
+    "GRID_TRACE_SEED",
     "available_traces",
     "build_trace",
     "workload_base_scenario",
     "run_workload_grid",
     "workload_grid_report",
 ]
+
+#: Seed for the stochastic trace builders below.  Fixed so every grid
+#: cell (and every golden fixture derived from one) sees the same
+#: realized trace; vary it by calling the generators directly.
+GRID_TRACE_SEED = 20250425
 
 #: Named trace builders: (base scenario, phase budget) -> Workload.
 #: Phase budgets are approximate for the structured traces (a training
@@ -51,6 +60,15 @@ WORKLOAD_TRACES: dict[str, Callable[[Scenario, int], Workload]] = {
         base, max(1, phases // 3)
     ),
     "moe": lambda base, phases: moe_trace(base, max(1, phases // 2)),
+    "poisson": lambda base, phases: poisson_multitenant_trace(
+        base, phases, seed=GRID_TRACE_SEED
+    ),
+    "drifting-moe": lambda base, phases: drifting_moe_trace(
+        base, max(1, phases // 2), seed=GRID_TRACE_SEED
+    ),
+    "piecewise": lambda base, phases: piecewise_stationary_trace(
+        base, max(1, phases // 3), 3, seed=GRID_TRACE_SEED
+    ),
 }
 
 

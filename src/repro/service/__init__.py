@@ -44,6 +44,7 @@ from .schemas import (
     REQUEST_KINDS,
     DegradationBody,
     MetricsBody,
+    OnlineBody,
     PlanBatchBody,
     PlanBody,
     RequestBody,
@@ -66,6 +67,7 @@ __all__ = [
     "PlanBatchBody",
     "SimulateBody",
     "WorkloadBody",
+    "OnlineBody",
     "DegradationBody",
     "MetricsBody",
     "RequestBody",

@@ -52,6 +52,7 @@ from .metrics import DaemonMetrics
 from .schemas import (
     DegradationBody,
     MetricsBody,
+    OnlineBody,
     PlanBatchBody,
     PlanBody,
     ServiceError,
@@ -167,6 +168,15 @@ class PlannerDaemon:
         self._plan_contexts: OrderedDict[tuple, object] = OrderedDict()
         self._plan_contexts_lock = threading.Lock()
         self._max_contexts = 16
+        # Resident online-control sessions: one OnlineController (plus
+        # its serializing lock — a session's observe/decide must not
+        # interleave across worker threads) per streaming client.  LRU
+        # like the plan contexts; an evicted session replans from its
+        # prior on its next step.
+        self._online_sessions: OrderedDict[str, tuple[object, threading.Lock]]
+        self._online_sessions = OrderedDict()
+        self._online_sessions_lock = threading.Lock()
+        self._max_online_sessions = 32
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -393,6 +403,8 @@ class PlannerDaemon:
         inc = incremental_stats()
         with self._plan_contexts_lock:
             n_contexts = len(self._plan_contexts)
+        with self._online_sessions_lock:
+            n_sessions = len(self._online_sessions)
         snapshot.update(
             version=self.version,
             uptime_s=time.time() - self._started_at,
@@ -420,6 +432,7 @@ class PlannerDaemon:
                 "reuse_ratio": inc.reuse_ratio,
                 "contexts": n_contexts,
             },
+            online={"sessions": n_sessions},
         )
         return snapshot
 
@@ -571,6 +584,42 @@ class PlannerDaemon:
             while len(self._plan_contexts) > self._max_contexts:
                 self._plan_contexts.popitem(last=False)
             return context
+
+    def _online_session_for(self, body) -> "tuple[object, threading.Lock]":
+        """The resident :class:`~repro.control.OnlineController` (and its
+        serializing lock) for a streaming session, creating it from the
+        step's policy and options on first sight."""
+        from ..control.controller import OnlineController
+        from ..control.policy import ONLINE_POLICIES
+
+        with self._online_sessions_lock:
+            entry = self._online_sessions.get(body.session)
+            if entry is None:
+                estimator, default_trigger = ONLINE_POLICIES[body.policy]
+                options = dict(body.options)
+                kwargs = {}
+                if options.get("prior_message_size") is not None:
+                    kwargs["prior_message_size"] = float(
+                        options["prior_message_size"]
+                    )
+                controller = OnlineController(
+                    estimator=estimator,
+                    trigger=str(options.get("trigger", default_trigger)),
+                    beta=float(options.get("beta", 0.5)),
+                    window=int(options.get("window", 4)),
+                    drift_threshold=float(
+                        options.get("drift_threshold", 0.1)
+                    ),
+                    replan_every=int(options.get("replan_every", 4)),
+                    cache=self.cache,
+                    **kwargs,
+                )
+                entry = (controller, threading.Lock())
+                self._online_sessions[body.session] = entry
+            self._online_sessions.move_to_end(body.session)
+            while len(self._online_sessions) > self._max_online_sessions:
+                self._online_sessions.popitem(last=False)
+            return entry
 
     def _prewarm_incremental(self, scenarios) -> int:
         """Delta-price every step of the given scenarios into the
@@ -736,6 +785,32 @@ class PlannerDaemon:
                     **options,
                 )
                 return ("ok", result.to_dict())
+            if isinstance(body, OnlineBody):
+                from ..control.controller import mask_demand
+                from ..sim.observation import observations_from_rows
+
+                controller, session_lock = self._online_session_for(body)
+                with session_lock:
+                    if body.observations and controller.stats.phases > 0:
+                        # Telemetry for a phase this controller never
+                        # decided (fresh or LRU-evicted session) has no
+                        # structure to attach to; drop it and replan
+                        # from the prior rather than failing the step.
+                        controller.observe(
+                            observations_from_rows(body.observations),
+                            delta=body.scenario.cost.delta,
+                        )
+                    decision = controller.decide(mask_demand(body.scenario))
+                    stats = controller.stats.to_dict()
+                return (
+                    "ok",
+                    {
+                        "session": body.session,
+                        "seq": body.seq,
+                        "decision": decision.to_dict(),
+                        "stats": stats,
+                    },
+                )
             if isinstance(body, DegradationBody):
                 from ..experiments.degradation import run_degradation_grid
 

@@ -4,7 +4,7 @@ Everything that crosses the service boundary is a frozen dataclass that
 round-trips through plain dicts, exactly like the declarative planning
 layer it wraps: a :class:`ServiceRequest` is an envelope (request id,
 priority, optional deadline) around one typed *body* — plan, plan-batch,
-simulate, workload, degradation, or metrics — and a
+simulate, workload, online, degradation, or metrics — and a
 :class:`ServiceResponse` is the envelope coming back (result payload or
 a typed :class:`ServiceError`, the library version, latency, and the
 coalescing/streaming markers).
@@ -51,6 +51,7 @@ __all__ = [
     "PlanBatchBody",
     "SimulateBody",
     "WorkloadBody",
+    "OnlineBody",
     "DegradationBody",
     "MetricsBody",
     "ServiceRequest",
@@ -65,6 +66,7 @@ REQUEST_KINDS = (
     "plan_batch",
     "simulate",
     "workload",
+    "online",
     "degradation",
     "metrics",
 )
@@ -260,6 +262,87 @@ class WorkloadBody:
 
 
 @dataclass(frozen=True)
+class OnlineBody:
+    """One streaming step of an online-control session.
+
+    The client runs the collective fabric; the daemon runs the
+    controller.  Each step carries the *demand-masked* phase skeleton
+    the client is about to serve, the telemetry it observed from the
+    previous phase (``RateObservation`` rows — achieved rates, never
+    declared demand), and a monotone ``seq`` so consecutive steps of
+    one session never coalesce (identical retries of the *same* step
+    still do, which is exactly the idempotency a streaming client
+    wants).  The daemon keeps an :class:`~repro.control.OnlineController`
+    per ``session`` and answers each step with its committed schedule.
+    """
+
+    session: str
+    scenario: Scenario
+    seq: int = 0
+    policy: str = "online-ewma"
+    #: ``RateObservation.to_row()`` rows:
+    #: ``[step, src, dst, rate, start, end, hops, decision]``.
+    observations: tuple[tuple, ...] = ()
+    options: Options = ()
+
+    kind = "online"
+
+    def __post_init__(self) -> None:
+        if not str(self.session):
+            raise ConfigurationError("online body needs a session id")
+        object.__setattr__(self, "session", str(self.session))
+        object.__setattr__(self, "seq", int(self.seq))
+        if self.seq < 0:
+            raise ConfigurationError(
+                f"online seq must be >= 0, got {self.seq}"
+            )
+        object.__setattr__(
+            self,
+            "observations",
+            tuple(tuple(row) for row in self.observations),
+        )
+        object.__setattr__(self, "options", _freeze_options(self.options))
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "session": self.session,
+            "scenario": self.scenario.to_dict(),
+            "seq": self.seq,
+            "policy": self.policy,
+        }
+        if self.observations:
+            out["observations"] = [list(row) for row in self.observations]
+        if self.options:
+            out["options"] = _thaw_options(self.options)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "OnlineBody":
+        _check_keys(
+            data,
+            {"session", "scenario", "seq", "policy", "observations",
+             "options"},
+            "online body",
+        )
+        raw = data.get("observations", ())
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise ConfigurationError(
+                f"online observations must be a list of rows, got "
+                f"{type(raw).__name__}"
+            )
+        return cls(
+            session=str(_require(data, "session", "online body")),
+            scenario=Scenario.from_dict(
+                _require(data, "scenario", "online body")
+            ),
+            seq=int(data.get("seq", 0)),
+            policy=str(data.get("policy", "online-ewma")),
+            observations=tuple(tuple(row) for row in raw),
+            options=_freeze_options(data.get("options")),
+        )
+
+
+@dataclass(frozen=True)
 class DegradationBody:
     """Run the fabric-condition grid for one base scenario."""
 
@@ -317,6 +400,7 @@ _BODY_TYPES = {
     "plan_batch": PlanBatchBody,
     "simulate": SimulateBody,
     "workload": WorkloadBody,
+    "online": OnlineBody,
     "degradation": DegradationBody,
     "metrics": MetricsBody,
 }
@@ -326,6 +410,7 @@ RequestBody = (
     | PlanBatchBody
     | SimulateBody
     | WorkloadBody
+    | OnlineBody
     | DegradationBody
     | MetricsBody
 )

@@ -31,6 +31,7 @@ from ..exceptions import ReproError
 from .schemas import (
     REQUEST_KINDS,
     DegradationBody,
+    OnlineBody,
     PlanBatchBody,
     PlanBody,
     ServiceError,
@@ -150,6 +151,22 @@ def _check_registries(request: ServiceRequest) -> None:
                 f"unknown policy {body.policy!r}; available: {policies}",
                 path="body.policy",
             )
+    if isinstance(body, OnlineBody):
+        from ..control.policy import ONLINE_POLICIES
+
+        if body.policy not in ONLINE_POLICIES:
+            raise _fail(
+                f"unknown online policy {body.policy!r}; available: "
+                f"{tuple(sorted(ONLINE_POLICIES))}",
+                path="body.policy",
+            )
+        for index, row in enumerate(body.observations):
+            if len(row) != 8:
+                raise _fail(
+                    f"observation row {index} has {len(row)} fields, "
+                    f"expected 8",
+                    path="body.observations",
+                )
 
 
 def validate_request(

@@ -14,6 +14,11 @@ from .batch import sim_many
 from .events import EventQueue
 from .executor import SimResult, SimStep, simulate_plan
 from .flowsim import FlowLevelSimulator, SimulationResult, StepTiming
+from .observation import (
+    RateObservation,
+    observations_from_rows,
+    observations_to_rows,
+)
 from .rates import RATE_METHODS, FlowRate, allocate_rates
 from .runner import SimulationReport, simulate
 from .trace import EventKind, Trace, TraceEvent
@@ -32,6 +37,9 @@ __all__ = [
     "FlowRate",
     "allocate_rates",
     "RATE_METHODS",
+    "RateObservation",
+    "observations_to_rows",
+    "observations_from_rows",
     "SimulationReport",
     "simulate",
     "SimResult",

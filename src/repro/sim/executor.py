@@ -42,6 +42,11 @@ from .._validation import require_field as _require
 from ..planner import PlanResult, Scenario, plan
 from ..topology.base import Topology
 from .flowsim import FlowLevelSimulator, SimulationResult
+from .observation import (
+    RateObservation,
+    observations_from_rows,
+    observations_to_rows,
+)
 from .rates import RATE_METHODS
 
 __all__ = ["SimStep", "SimResult", "simulate_plan"]
@@ -165,6 +170,14 @@ class SimResult:
         *not* see the
         faults coming, so :attr:`slowdown` (measured over planned) is
         the achieved-vs-planned degradation report.
+    rate_observations:
+        Per-flow achieved-rate telemetry
+        (:class:`~repro.sim.RateObservation` rows, execution order) —
+        collected when the run asked for ``observe_rates=True``, empty
+        otherwise.  Unlike the event trace, observations *are*
+        serialized by :meth:`to_dict`, so they survive the process
+        execution backend and the service boundary intact (the online
+        controller consumes them on the far side).
     """
 
     plan: PlanResult
@@ -178,6 +191,7 @@ class SimResult:
     link_utilization: tuple[tuple[tuple[object, object], float], ...] = ()
     fault_log: tuple[tuple[float, str, str], ...] = ()
     fault_pod_log: tuple[tuple[float, tuple[int, ...]], ...] = ()
+    rate_observations: tuple[RateObservation, ...] = ()
 
     # -- conveniences --------------------------------------------------------
 
@@ -225,7 +239,7 @@ class SimResult:
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-serializable)."""
-        return {
+        out: dict[str, object] = {
             "plan": self.plan.to_dict(),
             "rate_method": self.rate_method,
             "accounting": self.accounting,
@@ -244,6 +258,11 @@ class SimResult:
                 [time, list(pods)] for time, pods in self.fault_pod_log
             ],
         }
+        if self.rate_observations:
+            out["rate_observations"] = observations_to_rows(
+                self.rate_observations
+            )
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SimResult":
@@ -272,6 +291,9 @@ class SimResult:
             fault_pod_log=tuple(
                 (float(time), tuple(int(p) for p in pods))
                 for time, pods in data.get("fault_pod_log", ())
+            ),
+            rate_observations=observations_from_rows(
+                data.get("rate_observations", ())
             ),
         )
 
@@ -372,6 +394,7 @@ def simulate_plan(
     check_model: bool = True,
     cache: ThroughputCache | None = default_cache,
     faults: "tuple[FaultEvent, ...] | list[FaultEvent]" = (),
+    observe_rates: bool = False,
     **options,
 ) -> SimResult:
     """Execute a planned collective on the flow-level simulator.
@@ -414,6 +437,10 @@ def simulate_plan(
         is skipped (the divergence is the measurement), and link
         utilization is not collected — it cannot be attributed to one
         topology when capacities change mid-run.
+    observe_rates:
+        Record per-flow achieved-rate telemetry
+        (:class:`~repro.sim.RateObservation` rows) in the result — the
+        feed the online-control estimators de-censor.  Off by default.
     options:
         Solver-specific options for bare scenarios (e.g.
         ``compute_times`` for the overlap solver).
@@ -477,6 +504,7 @@ def simulate_plan(
         planned.schedule,
         compute_overlap=compute_overlap,
         faults=tuple(faults),
+        observe_rates=observe_rates,
     )
 
     # Gate the anchor on faults actually *applied*: an event scheduled
@@ -528,4 +556,5 @@ def simulate_plan(
         link_utilization=utilization,
         fault_log=result.fault_log,
         fault_pod_log=result.fault_pod_log,
+        rate_observations=result.rate_observations,
     )

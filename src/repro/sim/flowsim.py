@@ -51,6 +51,7 @@ from ..matching import Matching
 from ..topology.base import Topology
 from ..topology.matched import matched_topology
 from .events import EventQueue
+from .observation import RateObservation
 from .rates import allocate_rates
 from .trace import EventKind, Trace
 
@@ -97,6 +98,11 @@ class SimulationResult:
     :class:`~repro.flows.DeltaIndex`) — the pods an incremental
     replanner would re-solve.  Empty on flat fabrics and fault-free
     runs.
+
+    ``rate_observations`` is the per-flow telemetry an external
+    controller would see (one :class:`~repro.sim.RateObservation` per
+    flow per step, in execution order) — only collected when the run
+    was started with ``observe_rates=True``.
     """
 
     total_time: float
@@ -107,6 +113,7 @@ class SimulationResult:
     final_configuration: Configuration | None = None
     fault_log: tuple[tuple[float, str, str], ...] = ()
     fault_pod_log: tuple[tuple[float, tuple[int, ...]], ...] = ()
+    rate_observations: tuple[RateObservation, ...] = ()
 
     @property
     def communication_time(self) -> float:
@@ -247,11 +254,18 @@ class FlowLevelSimulator:
         compute_overlap: bool = False,
         initial_configuration: Configuration | None = None,
         faults: "tuple[FaultEvent, ...] | list[FaultEvent]" = (),
+        observe_rates: bool = False,
     ) -> SimulationResult:
         """Simulate ``collective`` under ``schedule``.
 
         With ``compute_overlap=True``, per-step ``compute_time`` windows
         hide subsequent reconfigurations (research agenda extension).
+
+        With ``observe_rates=True``, every flow's achieved rate and
+        transmission window is recorded as a
+        :class:`~repro.sim.RateObservation` row in the result — the
+        controller-facing telemetry feed (off by default; large
+        collectives produce one row per pair per step).
 
         ``initial_configuration`` seeds the standing circuit set —
         the carried state of a previous collective on the same fabric
@@ -318,6 +332,7 @@ class FlowLevelSimulator:
         live_health = self.health
         fault_log: list[tuple[float, str, str]] = []
         fault_pod_log: list[tuple[float, tuple[int, ...]]] = []
+        observations: list[RateObservation] = []
         delta_index = None
         if pending:
             from ..flows import DeltaIndex, pod_structure
@@ -418,6 +433,23 @@ class FlowLevelSimulator:
                     if completion > end:
                         end = completion
                         slowest = (flow.src, flow.dst)
+                    if observe_rates:
+                        observations.append(
+                            RateObservation(
+                                step=index,
+                                src=flow.src,
+                                dst=flow.dst,
+                                rate=flow.rate,
+                                start=start,
+                                end=completion,
+                                hops=flow.hops,
+                                decision=(
+                                    "matched"
+                                    if decision is Decision.MATCHED
+                                    else "base"
+                                ),
+                            )
+                        )
             queue.schedule(end, lambda: None)
             queue.run()
             trace.record(end, EventKind.STEP_END, index)
@@ -455,4 +487,5 @@ class FlowLevelSimulator:
             ),
             fault_log=tuple(fault_log),
             fault_pod_log=tuple(fault_pod_log),
+            rate_observations=tuple(observations),
         )

@@ -35,6 +35,11 @@ from ..workload.result import WorkloadPlan
 from ..workload.spec import Workload
 from .executor import _MODEL_RTOL, SimStep, _utilization
 from .flowsim import FlowLevelSimulator
+from .observation import (
+    RateObservation,
+    observations_from_rows,
+    observations_to_rows,
+)
 from .rates import RATE_METHODS
 from .trace import EventKind, Trace
 
@@ -51,6 +56,12 @@ class PhaseSimResult:
     this phase — opening reconfiguration included — and ``eq7_time``
     the memoryless Eq. 7 prediction, kept so reports can show what a
     planner that forgets the fabric between phases expected.
+
+    ``rate_observations`` (collected under ``observe_rates=True``) is
+    the phase's per-flow telemetry on the phase-local clock — exactly
+    what the phase's own :class:`~repro.sim.FlowLevelSimulator` run
+    recorded.  It is serialized by :meth:`to_dict`, unlike the event
+    trace, so observations survive the process execution backend.
     """
 
     index: int
@@ -64,6 +75,7 @@ class PhaseSimResult:
     n_reconfigurations: int
     steps: tuple[SimStep, ...]
     link_utilization: tuple[tuple[tuple[object, object], float], ...] = ()
+    rate_observations: tuple[RateObservation, ...] = ()
 
     @property
     def model_error(self) -> float:
@@ -74,7 +86,7 @@ class PhaseSimResult:
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-serializable)."""
-        return {
+        out: dict[str, object] = {
             "index": self.index,
             "name": self.name,
             "start": self.start,
@@ -89,6 +101,11 @@ class PhaseSimResult:
                 [[u, v], value] for (u, v), value in self.link_utilization
             ],
         }
+        if self.rate_observations:
+            out["rate_observations"] = observations_to_rows(
+                self.rate_observations
+            )
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "PhaseSimResult":
@@ -111,6 +128,9 @@ class PhaseSimResult:
             link_utilization=tuple(
                 ((edge[0], edge[1]), float(value))
                 for edge, value in data.get("link_utilization", ())
+            ),
+            rate_observations=observations_from_rows(
+                data.get("rate_observations", ())
             ),
         )
 
@@ -206,6 +226,7 @@ def simulate_workload(
     collect_utilization: bool = False,
     check_model: bool = True,
     cache: "ThroughputCache | None" = default_cache,
+    observe_rates: bool = False,
     **options,
 ) -> WorkloadSimResult:
     """Execute a planned workload on the flow-level simulator.
@@ -233,6 +254,10 @@ def simulate_workload(
         total beyond float tolerance.
     cache:
         Shared theta memo.
+    observe_rates:
+        Record each phase's per-flow achieved-rate telemetry
+        (:class:`~repro.sim.RateObservation` rows on the phase-local
+        clock) in its :class:`PhaseSimResult`.  Off by default.
 
     Returns
     -------
@@ -302,7 +327,10 @@ def simulate_workload(
             live_topology=scenario.build_topology(),
         )
         result = simulator.run(
-            collective, schedule, initial_configuration=carried
+            collective,
+            schedule,
+            initial_configuration=carried,
+            observe_rates=observe_rates,
         )
 
         if check_model and _should_check_phase(scenario, rate_method):
@@ -360,6 +388,7 @@ def simulate_workload(
                 n_reconfigurations=result.n_reconfigurations,
                 steps=steps,
                 link_utilization=utilization,
+                rate_observations=result.rate_observations,
             )
         )
         clock += result.total_time
@@ -393,6 +422,7 @@ def workload_many(
     collect_utilization: bool = False,
     check_model: bool = True,
     parallel_backend: "str | None" = None,
+    observe_rates: bool = False,
     **options,
 ) -> list[WorkloadSimResult]:
     """Plan and execute a batch of workloads, optionally in parallel.
@@ -419,5 +449,6 @@ def workload_many(
         collect_utilization=collect_utilization,
         check_model=check_model,
         parallel_backend=parallel_backend,
+        observe_rates=observe_rates,
         **options,
     )

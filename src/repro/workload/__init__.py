@@ -10,7 +10,9 @@ configuration the next phase inherits?
   :class:`~repro.planner.Scenario` phases over one shared fabric, with
   :func:`interleave` for multi-tenant round-robin traffic;
 * :mod:`~repro.workload.traces` — deterministic synthetic generators
-  (steady, bursty, phase-shifted training loops, MoE);
+  (steady, bursty, phase-shifted training loops, MoE) plus seeded
+  stochastic ones (Poisson multi-tenant arrivals, drifting-MoE expert
+  popularity, piecewise-stationary demand);
 * :func:`plan_workload` — plan the stream with an online policy
   (``replan``, ``hysteresis``, ``oracle``, or a registered custom one)
   under a pluggable reconfiguration-delay model, threading carried
@@ -50,10 +52,15 @@ from .policies import (
 from .result import PhasePlan, WorkloadPlan
 from .spec import Workload, interleave
 from .traces import (
+    DEFAULT_TENANT_PALETTE,
     DEFAULT_TRAINING_CYCLE,
     bursty_trace,
+    drifting_moe_trace,
     faulty,
     moe_trace,
+    piecewise_stationary_trace,
+    poisson_arrivals,
+    poisson_multitenant_trace,
     steady_trace,
     training_loop_trace,
 )
@@ -75,5 +82,10 @@ __all__ = [
     "training_loop_trace",
     "moe_trace",
     "faulty",
+    "poisson_arrivals",
+    "poisson_multitenant_trace",
+    "drifting_moe_trace",
+    "piecewise_stationary_trace",
     "DEFAULT_TRAINING_CYCLE",
+    "DEFAULT_TENANT_PALETTE",
 ]

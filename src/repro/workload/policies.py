@@ -114,8 +114,20 @@ def unregister_policy(name: str) -> None:
         del _POLICIES[name]
 
 
+def _load_extension_policies() -> None:
+    """Register the policies that live outside this module.
+
+    The online-control policies (``online-ewma`` / ``online-window`` /
+    ``online-static``) are defined in :mod:`repro.control`, which
+    imports *this* module — so they register lazily, on the first
+    lookup that would otherwise miss, instead of at import time.
+    """
+    from .. import control  # noqa: F401  (import side effect: registration)
+
+
 def available_policies() -> tuple[str, ...]:
     """Sorted names of all registered workload policies."""
+    _load_extension_policies()
     with _REGISTRY_LOCK:
         return tuple(sorted(_POLICIES))
 
@@ -124,6 +136,10 @@ def get_policy(name: str) -> PolicyFn:
     """Look up a policy by name."""
     with _REGISTRY_LOCK:
         fn = _POLICIES.get(name)
+    if fn is None:
+        _load_extension_policies()
+        with _REGISTRY_LOCK:
+            fn = _POLICIES.get(name)
     if fn is None:
         raise WorkloadError(
             f"unknown policy {name!r}; available: {available_policies()}"

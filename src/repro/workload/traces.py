@@ -21,13 +21,31 @@ workload and overlays a failure/repair process on its phases — the
 fabric degrades for a stretch of phases, repairs, and degrades again —
 so the online policies can be compared on imperfect fabrics.
 
-Every generator is deterministic: the same arguments always expand to
-the same workload, which is what makes ``workload_many``'s
+The *stochastic* generators draw their traffic from seeded random
+processes, the raw material of the online-control loop
+(:mod:`repro.control`):
+
+* :func:`poisson_multitenant_trace` — tenant jobs arrive by a Poisson
+  process, live an exponential lifetime, and time-share the fabric
+  round-robin (arrivals and departures change which collective each
+  slot carries);
+* :func:`drifting_moe_trace` — MoE expert popularity as a random walk
+  on the gate logits, so the expert-dispatch all-to-all swells and
+  shrinks with the hottest expert's load;
+* :func:`piecewise_stationary_trace` — demand constant within a
+  segment, jumping to a fresh seeded level at each boundary (the
+  canonical regret-analysis trace: a static plan is wrong on most
+  segments, a clairvoyant one never is).
+
+Every generator — stochastic ones included — is a pure function of its
+arguments: the same ``(args, seed)`` always expand to the same
+workload, which is what makes ``workload_many``'s
 parallel-equals-serial guarantee (and the golden fixtures) possible.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Sequence
 
@@ -42,6 +60,10 @@ __all__ = [
     "training_loop_trace",
     "moe_trace",
     "faulty",
+    "poisson_arrivals",
+    "poisson_multitenant_trace",
+    "drifting_moe_trace",
+    "piecewise_stationary_trace",
 ]
 
 #: Default forward/backward/optimizer cycle of one training iteration:
@@ -237,3 +259,219 @@ def faulty(
     return Workload(
         phases=tuple(phases), name=name or f"{trace.name}+faults(seed={seed})"
     )
+
+
+#: Tenant archetypes for the multi-tenant generator: (algorithm,
+#: message-size scale).  All algorithms here accept any power-of-two
+#: rank count, like the deterministic traces above.
+DEFAULT_TENANT_PALETTE: tuple[tuple[str, float], ...] = (
+    ("allreduce_recursive_doubling", 1.0),
+    ("alltoall", 0.25),
+    ("allgather_recursive_doubling", 0.5),
+    ("reduce_scatter_halving", 0.5),
+)
+
+
+def poisson_arrivals(
+    rate: float, horizon: float, seed: int
+) -> tuple[float, ...]:
+    """Arrival times of a Poisson process on ``[0, horizon)``.
+
+    Inter-arrival gaps are drawn i.i.d. exponential with mean
+    ``1 / rate`` from ``random.Random(seed)``; the running sum is cut
+    at ``horizon``.  Exposed on its own (rather than buried inside
+    :func:`poisson_multitenant_trace`) so the statistical tests can
+    check the empirical inter-arrival mean against its confidence
+    bounds without re-deriving the trace machinery.
+    """
+    if rate <= 0:
+        raise WorkloadError(f"arrival rate must be positive, got {rate}")
+    if horizon <= 0:
+        raise WorkloadError(f"horizon must be positive, got {horizon}")
+    rng = random.Random(int(seed))
+    arrivals = []
+    t = rng.expovariate(rate)
+    while t < horizon:
+        arrivals.append(t)
+        t += rng.expovariate(rate)
+    return tuple(arrivals)
+
+
+def poisson_multitenant_trace(
+    base: Scenario,
+    slots: int,
+    seed: int,
+    arrival_rate: float = 0.5,
+    mean_lifetime: float = 6.0,
+    palette: Sequence[tuple[str, float]] = DEFAULT_TENANT_PALETTE,
+    name: str = "poisson",
+) -> Workload:
+    """Multi-tenant traffic: Poisson job arrivals time-sharing the fabric.
+
+    Jobs arrive on the slot axis by a Poisson process of intensity
+    ``arrival_rate`` (jobs per slot) and live an exponential lifetime
+    with mean ``mean_lifetime`` slots; each draws an ``(algorithm,
+    message-size scale)`` archetype from ``palette``.  A job is always
+    planted at slot 0 so the trace never opens idle.  Each of the
+    ``slots`` phases carries the collective of one *active* job,
+    rotating round-robin across the active set — the discrete-time
+    picture of tenants time-sharing one reconfigurable domain.  Slots
+    where every job has departed fall back to the base collective at
+    1/8 scale (control-plane keepalive traffic).
+
+    Same ``(base, slots, seed, ...)`` arguments, same workload.
+    """
+    slots = _positive_phases(slots, "poisson_multitenant_trace")
+    if mean_lifetime <= 0:
+        raise WorkloadError(
+            f"mean_lifetime must be positive, got {mean_lifetime}"
+        )
+    palette = tuple((str(a), float(s)) for a, s in palette)
+    if not palette:
+        raise WorkloadError("poisson_multitenant_trace needs a palette")
+    for algorithm, scale in palette:
+        if scale <= 0:
+            raise WorkloadError(
+                f"palette scale for {algorithm!r} must be positive, "
+                f"got {scale}"
+            )
+    rng = random.Random(int(seed))
+    # Job schedule first, phases second, so arrival sampling is not
+    # interleaved with (and perturbed by) per-slot draws.
+    starts = (0.0,) + poisson_arrivals(
+        arrival_rate, float(slots), seed=rng.randrange(2**31)
+    )
+    jobs = []  # (start, end, job id, algorithm, scale)
+    for job_id, start in enumerate(starts):
+        lifetime = rng.expovariate(1.0 / mean_lifetime)
+        algorithm, scale = palette[rng.randrange(len(palette))]
+        jobs.append((start, start + lifetime, job_id, algorithm, scale))
+    phases = []
+    for slot in range(slots):
+        active = [job for job in jobs if job[0] <= slot < job[1]]
+        if active:
+            _, _, job_id, algorithm, scale = active[slot % len(active)]
+            phases.append(
+                base.replace(
+                    algorithm=algorithm,
+                    message_size=base.collective.message_size * scale,
+                    name=f"{name}[{slot}].job{job_id}",
+                )
+            )
+        else:
+            phases.append(
+                base.replace(
+                    message_size=base.collective.message_size * 0.125,
+                    name=f"{name}[{slot}].idle",
+                )
+            )
+    return Workload(phases=tuple(phases), name=f"{name}(seed={seed})")
+
+
+def drifting_moe_trace(
+    base: Scenario,
+    layers: int,
+    seed: int,
+    experts: int = 8,
+    drift: float = 0.5,
+    alltoall_scale: float = 0.25,
+    name: str = "drifting-moe",
+) -> Workload:
+    """MoE traffic whose expert popularity drifts layer to layer.
+
+    Like :func:`moe_trace` — per layer a dense allreduce then an
+    expert-dispatch all-to-all — but the gate distribution over
+    ``experts`` experts evolves as a Gaussian random walk on the
+    logits (step ``drift``).  The all-to-all message size scales with
+    the *hottest* expert's load factor, ``experts * max(softmax)``,
+    which is 1 under a uniform gate and approaches ``experts`` as one
+    expert captures the batch: dispatch volume tracks the straggling
+    expert.  The allreduce is demand-stationary, as in real MoE — only
+    the dispatch traffic drifts.
+
+    Same ``(base, layers, seed, ...)`` arguments, same workload.
+    """
+    layers = _positive_phases(layers, "drifting_moe_trace")
+    experts = int(experts)
+    if experts < 2:
+        raise WorkloadError(f"experts must be >= 2, got {experts}")
+    if drift < 0:
+        raise WorkloadError(f"drift must be non-negative, got {drift}")
+    if alltoall_scale <= 0:
+        raise WorkloadError(
+            f"alltoall_scale must be positive, got {alltoall_scale}"
+        )
+    rng = random.Random(int(seed))
+    logits = [0.0] * experts
+    phases = []
+    for layer in range(layers):
+        logits = [logit + rng.gauss(0.0, drift) for logit in logits]
+        peak = max(logits)
+        gates = [math.exp(logit - peak) for logit in logits]
+        load_factor = experts * max(gates) / sum(gates)
+        phases.append(
+            base.replace(
+                algorithm="allreduce_recursive_doubling",
+                name=f"{name}[{layer}].allreduce",
+            )
+        )
+        phases.append(
+            base.replace(
+                algorithm="alltoall",
+                message_size=(
+                    base.collective.message_size
+                    * alltoall_scale
+                    * load_factor
+                ),
+                name=f"{name}[{layer}].alltoall",
+            )
+        )
+    return Workload(phases=tuple(phases), name=f"{name}(seed={seed})")
+
+
+def piecewise_stationary_trace(
+    base: Scenario,
+    segments: int,
+    segment_length: int,
+    seed: int,
+    scale_range: tuple[float, float] = (0.03125, 32.0),
+    name: str = "piecewise",
+) -> Workload:
+    """Piecewise-stationary demand: constant within a segment, jumping
+    between them.
+
+    Each of the ``segments`` segments holds the base collective at a
+    message-size scale drawn log-uniformly from ``scale_range`` for
+    ``segment_length`` consecutive phases, then jumps to a fresh draw.
+    The span of the default range crosses the reconfigure-or-not
+    break-even both ways, so a plan committed under one segment's
+    demand is wrong on most others — the canonical trace for regret
+    analysis: an estimator locks onto each segment after one observed
+    phase, a static prior never does, a clairvoyant oracle is never
+    wrong.
+
+    Same ``(base, segments, segment_length, seed, ...)`` arguments,
+    same workload.
+    """
+    segments = _positive_phases(segments, "piecewise_stationary_trace")
+    segment_length = _positive_phases(
+        segment_length, "piecewise_stationary_trace segment"
+    )
+    low, high = (float(scale_range[0]), float(scale_range[1]))
+    if low <= 0 or high <= 0 or high < low:
+        raise WorkloadError(
+            f"scale_range must be positive with low <= high, "
+            f"got ({low}, {high})"
+        )
+    rng = random.Random(int(seed))
+    phases = []
+    for segment in range(segments):
+        scale = math.exp(rng.uniform(math.log(low), math.log(high)))
+        for offset in range(segment_length):
+            phases.append(
+                base.replace(
+                    message_size=base.collective.message_size * scale,
+                    name=f"{name}[{segment}.{offset}]",
+                )
+            )
+    return Workload(phases=tuple(phases), name=f"{name}(seed={seed})")

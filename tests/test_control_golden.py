@@ -1,0 +1,180 @@
+"""Golden regression: the closed control loop pinned at n=16.
+
+``tests/fixtures/golden_online_n16.json`` records, for every online
+policy and the clairvoyant oracle, the realized per-phase times on one
+seeded piecewise-stationary trace at n=16 — the whole
+decide -> execute -> observe -> replan loop, estimation algebra
+included.  Any change to the estimators, triggers, controller carry
+logic, or the telemetry plumbing that moves these numbers fails here
+and must be an explicit, reviewed fixture regeneration:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_control_golden.py
+
+On failure the freshly computed record is written next to the fixture
+(``golden_online_n16.actual.json``) for diffing.
+
+The slow acceptance test at the bottom is the PR's headline number: at
+n=64 on the seeded drifting-MoE trace, ``online-ewma`` achieves >= 80%
+of the oracle's aggregate throughput-time and strictly beats the
+static no-replan baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import measure_regret
+from repro.flows import ThroughputCache
+from repro.planner import Scenario
+from repro.units import Gbps, MiB, ns, us
+from repro.workload import (
+    drifting_moe_trace,
+    piecewise_stationary_trace,
+    plan_workload,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_online_n16.json"
+ACTUAL = FIXTURE.parent / "golden_online_n16.actual.json"
+N = 16
+SEED = 11
+
+REL_TOL = 1e-6
+
+POLICIES = ("online-ewma", "online-window", "online-static", "oracle")
+
+
+def base_scenario(n=N, message_mib=8.0):
+    return Scenario.create(
+        "allreduce_recursive_doubling",
+        n=n,
+        message_size=MiB(message_mib),
+        bandwidth=Gbps(800),
+        alpha=ns(100),
+        delta=ns(100),
+        reconfiguration_delay=us(10),
+        topology="ring",
+        topology_options={"bidirectional": True},
+    )
+
+
+def compute_record() -> dict:
+    """Run the closed loop on the seeded piecewise trace at n=16."""
+    workload = piecewise_stationary_trace(
+        base_scenario(), segments=3, segment_length=3, seed=SEED
+    )
+    cache = ThroughputCache()
+    policies = {}
+    for policy in POLICIES:
+        plan = plan_workload(workload, policy=policy, cache=cache)
+        policies[policy] = {
+            "total_time": plan.total_time,
+            "reconfiguration_time": plan.reconfiguration_time,
+            "n_reconfigurations": plan.n_reconfigurations,
+            "per_phase_times": list(plan.per_phase_times),
+        }
+    return {
+        "n": N,
+        "seed": SEED,
+        "num_phases": len(workload),
+        "policies": policies,
+    }
+
+
+@pytest.fixture(scope="module")
+def actual() -> dict:
+    return compute_record()
+
+
+def test_fixture_exists_or_regenerate(actual):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(exist_ok=True)
+        FIXTURE.write_text(json.dumps(actual, indent=2) + "\n")
+    assert FIXTURE.exists(), (
+        f"golden fixture {FIXTURE} is missing; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def _close(want, have) -> bool:
+    if isinstance(want, float) or isinstance(have, float):
+        return math.isclose(float(want), float(have), rel_tol=REL_TOL)
+    return want == have
+
+
+def test_online_loop_matches_golden_fixture(actual):
+    if not FIXTURE.exists():
+        pytest.skip("fixture missing (covered by test_fixture_exists)")
+    golden = json.loads(FIXTURE.read_text())
+    mismatches = []
+    for key in ("n", "seed", "num_phases"):
+        if golden[key] != actual[key]:
+            mismatches.append(
+                f"{key}: fixture={golden[key]!r} got={actual[key]!r}"
+            )
+    for policy in POLICIES:
+        want = golden["policies"][policy]
+        have = actual["policies"][policy]
+        for field in (
+            "total_time",
+            "reconfiguration_time",
+            "n_reconfigurations",
+        ):
+            if not _close(want[field], have[field]):
+                mismatches.append(
+                    f"{policy}/{field}: fixture={want[field]!r} "
+                    f"got={have[field]!r}"
+                )
+        for index, (w, h) in enumerate(
+            zip(want["per_phase_times"], have["per_phase_times"])
+        ):
+            if not _close(w, h):
+                mismatches.append(
+                    f"{policy}/per_phase_times[{index}]: "
+                    f"fixture={w!r} got={h!r}"
+                )
+    if mismatches:
+        ACTUAL.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.fail(
+            "golden online loop drifted from the committed fixture "
+            f"({len(mismatches)} fields); wrote {ACTUAL} for diffing.\n"
+            + "\n".join(mismatches[:20])
+        )
+
+
+def test_golden_policies_are_internally_consistent(actual):
+    """The pinned numbers must tell the regret story on their own:
+    oracle <= adaptive < static, every phase positive and finite."""
+    totals = {
+        policy: actual["policies"][policy]["total_time"]
+        for policy in POLICIES
+    }
+    assert totals["oracle"] <= totals["online-ewma"] * (1 + 1e-12)
+    assert totals["oracle"] <= totals["online-window"] * (1 + 1e-12)
+    assert totals["online-ewma"] < totals["online-static"]
+    assert totals["online-window"] < totals["online-static"]
+    for policy in POLICIES:
+        data = actual["policies"][policy]
+        assert data["total_time"] == pytest.approx(
+            sum(data["per_phase_times"]), rel=1e-12
+        )
+        for value in data["per_phase_times"]:
+            assert value > 0 and math.isfinite(value)
+
+
+@pytest.mark.slow
+def test_n64_drifting_moe_acceptance():
+    """The PR's headline claim: at n=64 on the seeded drifting-MoE
+    trace, the estimating controller stays within 20% of clairvoyance
+    and strictly beats never replanning."""
+    workload = drifting_moe_trace(
+        base_scenario(n=64, message_mib=8.0), layers=6, seed=SEED
+    )
+    report = measure_regret(workload, policy="online-ewma")
+    assert report.efficiency >= 0.8
+    assert report.beats_baseline
+    assert report.oracle_total <= report.policy_total * (1 + 1e-12)
